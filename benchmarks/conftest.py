@@ -1,0 +1,30 @@
+"""Benchmark-suite configuration.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE``: "quick" (default) runs reduced iteration counts so
+  the whole benchmark suite finishes in a few minutes; "full" uses the
+  paper's settings (15/30 iterations, all 17 designs at full size).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def bench_scale() -> str:
+    """Return the configured benchmark scale ("quick" or "full")."""
+    return os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()

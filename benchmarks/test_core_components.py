@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the core components (not tied to a paper figure).
+
+These track the cost of the three inner-loop operations that dominate ISDC
+runtime: the LP solve, the subgraph synthesis evaluation, and the delay
+matrix re-propagation.  They exist so performance regressions in the
+substrate are visible independently of the end-to-end Table-I numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.designs.suite import suite_by_name
+from repro.isdc.delay_matrix import DelayMatrix
+from repro.isdc.reformulate import propagate_delays
+from repro.sdc.delays import critical_path_matrix, node_delays
+from repro.sdc.scheduler import SdcScheduler, register_weights, users_map
+from repro.sdc.solver import solve_lp
+from repro.synth.flow import SynthesisFlow
+from repro.tech.delay_model import OperatorModel
+
+
+@pytest.fixture(scope="module")
+def sha_graph():
+    return suite_by_name("sha256").build()
+
+
+@pytest.fixture(scope="module")
+def model():
+    return OperatorModel()
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_critical_path_matrix(benchmark, sha_graph, model):
+    delays = node_delays(sha_graph, model)
+    matrix, _ = benchmark(critical_path_matrix, sha_graph, delays)
+    assert matrix.shape[0] == len(sha_graph)
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_sdc_lp_solve(benchmark, sha_graph, model):
+    scheduler = SdcScheduler(model, clock_period_ps=2500.0)
+    delays = node_delays(sha_graph, model)
+    matrix, index_of = critical_path_matrix(sha_graph, delays)
+    system = scheduler.build_constraints(sha_graph, matrix, index_of)
+
+    schedule = benchmark(solve_lp, system, register_weights(sha_graph),
+                         users_map(sha_graph))
+    assert system.is_feasible_schedule(schedule)
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_delay_propagation(benchmark, sha_graph, model):
+    delays = node_delays(sha_graph, model)
+    matrix = DelayMatrix.from_graph(sha_graph, delays)
+    operations = [n.node_id for n in sha_graph.nodes() if not n.is_source][:12]
+    matrix.update_with_subgraph(operations, 500.0)
+
+    benchmark(lambda: propagate_delays(matrix.copy()))
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_subgraph_synthesis(benchmark):
+    graph = suite_by_name("ML-core datapath1").build()
+    flow = SynthesisFlow()
+    operations = [n.node_id for n in graph.nodes() if not n.is_source]
+
+    report = benchmark(flow.evaluate_subgraph, graph, operations)
+    assert report.delay_ps > 0

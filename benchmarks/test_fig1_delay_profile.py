@@ -1,0 +1,42 @@
+"""Fig. 1: post-synthesis STA vs. HLS-estimated critical-path delay.
+
+The paper profiles 6912 design points and shows the estimates deviating
+substantially (and almost always upward) from the post-synthesis ground
+truth.  The bench sweeps schedules of several designs over clock periods and
+checks the same qualitative picture: a large mean over-estimation and most
+points above the ideal line.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.designs.suite import table1_suite
+from repro.experiments.fig1 import format_profile, profile_summary, run_delay_profile
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_delay_profile(benchmark, scale):
+    if scale == "full":
+        cases = [case for case in table1_suite() if case.scale != "large"]
+        clock_scales = (0.7, 0.85, 1.0, 1.25, 1.5, 2.0)
+    else:
+        wanted = {"ML-core datapath1", "rrot", "binary divide", "crc32"}
+        cases = [case for case in table1_suite() if case.name in wanted]
+        clock_scales = (0.85, 1.0, 1.5)
+
+    points = benchmark.pedantic(
+        run_delay_profile,
+        kwargs={"cases": cases, "clock_scales": clock_scales, "compute_aig": False},
+        rounds=1, iterations=1)
+
+    print()
+    print(format_profile(points))
+    summary = profile_summary(points)
+
+    # --- Shape assertions (paper Fig. 1) --------------------------------------
+    assert summary["num_points"] >= 20
+    # Estimates sit above the measured delays on average (unused slack).
+    assert summary["mean_overestimation"] > 0.10
+    # The overwhelming majority of points are over-estimates.
+    assert summary["fraction_overestimated"] > 0.8

@@ -1,0 +1,43 @@
+"""Fig. 5: delay-driven vs. fanout-driven subgraph extraction.
+
+The paper runs 30 iterations with 4/8/16 subgraphs per iteration (path-based
+expansion) and finds the fanout-driven ranking converges at least as fast and
+reaches register usage no worse than the delay-driven ranking.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig5 import format_ablation, run_extraction_ablation
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_fanout_ablation(benchmark, scale):
+    if scale == "full":
+        counts, iterations = (4, 8, 16), 30
+    else:
+        counts, iterations = (4, 16), 8
+
+    curves = benchmark.pedantic(
+        run_extraction_ablation,
+        kwargs={"subgraph_counts": counts, "iterations": iterations},
+        rounds=1, iterations=1)
+
+    print()
+    print(format_ablation(curves))
+
+    # --- Shape assertions (paper Fig. 5) --------------------------------------
+    for count in counts:
+        fanout = curves[("fanout", count)]
+        delay = curves[("delay", count)]
+        # Both start from the same SDC baseline.
+        assert fanout.registers[0] == delay.registers[0]
+        # Fanout-driven ends at register usage no worse than delay-driven.
+        assert fanout.final_registers <= delay.final_registers
+        # Both strategies improve on the baseline.
+        assert fanout.final_registers <= fanout.registers[0]
+    # More subgraphs per iteration converge at least as fast (fewer or equal
+    # iterations to reach the best point).
+    assert curves[("fanout", counts[-1])].iterations_to_best <= \
+        curves[("fanout", counts[0])].iterations_to_best + 2

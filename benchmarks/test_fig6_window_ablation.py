@@ -1,0 +1,42 @@
+"""Fig. 6: path vs. cone vs. window subgraph expansion.
+
+Under the fanout-driven ranking, the paper finds cone/window expansions
+escape the local minima that trap the path-based expansion, with windows
+having a slight edge overall.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig5 import format_ablation
+from repro.experiments.fig6 import run_expansion_ablation
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_window_ablation(benchmark, scale):
+    if scale == "full":
+        counts, iterations = (4, 8, 16), 30
+    else:
+        counts, iterations = (8,), 8
+
+    curves = benchmark.pedantic(
+        run_expansion_ablation,
+        kwargs={"subgraph_counts": counts, "iterations": iterations},
+        rounds=1, iterations=1)
+
+    print()
+    print(format_ablation(curves))
+
+    # --- Shape assertions (paper Fig. 6) --------------------------------------
+    for count in counts:
+        path = curves[("path", count)]
+        cone = curves[("cone", count)]
+        window = curves[("window", count)]
+        assert path.registers[0] == cone.registers[0] == window.registers[0]
+        # Cone/window reach register usage no worse than the path expansion.
+        assert cone.final_registers <= path.final_registers
+        assert window.final_registers <= path.final_registers
+        # Window is at least as good as cone (the paper reports a slight edge).
+        assert window.final_registers <= cone.final_registers + \
+            0.05 * max(1, cone.final_registers)

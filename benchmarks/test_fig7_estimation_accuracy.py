@@ -1,0 +1,43 @@
+"""Fig. 7: delay-estimation accuracy of ISDC vs. the original SDC.
+
+The paper shows ISDC's estimation error shrinking towards ~3 % as feedback
+accumulates, while the original SDC's error grows on the refined schedules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.designs.suite import suite_by_name, table1_suite
+from repro.experiments.fig7 import format_estimation_accuracy, run_estimation_accuracy
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_estimation_accuracy(benchmark, scale):
+    if scale == "full":
+        cases = [case for case in table1_suite() if case.scale != "large"]
+        iterations = 10
+    else:
+        cases = [suite_by_name(name) for name in
+                 ("ML-core datapath1", "rrot", "binary divide", "crc32")]
+        iterations = 5
+
+    result = benchmark.pedantic(
+        run_estimation_accuracy,
+        kwargs={"cases": cases, "max_iterations": iterations,
+                "subgraphs_per_iteration": 8},
+        rounds=1, iterations=1)
+
+    print()
+    print(format_estimation_accuracy(result))
+
+    # --- Shape assertions (paper Fig. 7) --------------------------------------
+    assert len(result.isdc_error) >= 3
+    # Iteration 0: ISDC has no feedback yet, so both estimates coincide.
+    assert result.isdc_error[0] == pytest.approx(result.sdc_error[0], rel=0.05)
+    # ISDC's error shrinks substantially by the final iteration.
+    assert result.final_isdc_error < 0.5 * result.isdc_error[0]
+    # The original SDC's error does not improve (it typically worsens).
+    assert result.final_sdc_error >= 0.8 * result.sdc_error[0]
+    # ISDC ends more accurate than the original estimate (paper: 3.4 % error).
+    assert result.final_isdc_error < result.final_sdc_error

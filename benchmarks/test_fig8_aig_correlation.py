@@ -1,0 +1,38 @@
+"""Fig. 8: post-synthesis STA delay vs. AIG depth.
+
+The paper's discussion section observes a compelling linear correlation
+between the two, motivating AIG depth as a cheap feedback signal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.designs.suite import table1_suite
+from repro.experiments.fig8 import format_aig_correlation, run_aig_correlation
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_aig_correlation(benchmark, scale):
+    if scale == "full":
+        cases = [case for case in table1_suite() if case.scale != "large"]
+        clock_scales = (0.7, 0.85, 1.0, 1.25, 1.5)
+    else:
+        wanted = {"ML-core datapath1", "rrot", "binary divide", "crc32"}
+        cases = [case for case in table1_suite() if case.name in wanted]
+        clock_scales = (0.85, 1.0, 1.5)
+
+    result = benchmark.pedantic(
+        run_aig_correlation,
+        kwargs={"cases": cases, "clock_scales": clock_scales},
+        rounds=1, iterations=1)
+
+    print()
+    print(format_aig_correlation(result))
+
+    # --- Shape assertions (paper Fig. 8) --------------------------------------
+    assert len(result.points) >= 20
+    # Strong positive linear correlation between AIG depth and STA delay.
+    assert result.correlation > 0.8
+    # Each AIG level costs a physically plausible, positive amount of time.
+    assert result.ps_per_level > 0

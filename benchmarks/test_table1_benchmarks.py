@@ -1,0 +1,53 @@
+"""Table I: SDC vs. ISDC on the 17-design suite.
+
+Regenerates the paper's headline table: per-benchmark slack, stage count,
+register count and scheduling runtime for the SDC baseline and for ISDC,
+plus the geometric-mean summary.  The paper reports a 71.5 % register ratio
+(28.5 % reduction), a 70.0 % stage ratio and a ~40x runtime multiplier; the
+shape assertions below check exactly those directions without pinning the
+absolute values of this simulated substrate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.designs.suite import table1_suite
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def _suite_for(scale: str):
+    cases = table1_suite()
+    if scale == "full":
+        return cases, 16, 15
+    # Quick mode: every design, but fewer subgraphs/iterations.
+    return cases, 8, 6
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_benchmarks(benchmark, scale):
+    cases, subgraphs, iterations = _suite_for(scale)
+
+    result = benchmark.pedantic(
+        run_table1,
+        kwargs={"cases": cases, "subgraphs_per_iteration": subgraphs,
+                "max_iterations": iterations},
+        rounds=1, iterations=1)
+
+    print()
+    print(format_table1(result))
+
+    # --- Shape assertions (paper Table I) ------------------------------------
+    assert len(result.rows) == len(cases)
+    # ISDC never uses more registers or stages than the SDC baseline.
+    for row in result.rows:
+        assert row.isdc_registers <= row.sdc_registers, row.benchmark
+        assert row.isdc_stages <= row.sdc_stages, row.benchmark
+    # Geometric-mean register ratio below 90 % (paper: 71.5 %).
+    assert result.register_ratio < 0.90
+    # Stage ratio also improves (paper: 70.0 %).
+    assert result.stage_ratio <= 1.0
+    # ISDC spends some of the slack (paper: slack ratio 60.9 %).
+    assert result.slack_ratio <= 1.05
+    # The runtime multiplier is substantial (paper: ~40x).
+    assert result.runtime_ratio > 2.0

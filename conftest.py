@@ -1,0 +1,13 @@
+"""Pytest configuration: make ``src/`` importable without an installed package.
+
+The package is normally installed with ``pip install -e .``; this fallback
+keeps ``pytest`` working in environments where the editable install is not
+available (e.g. offline containers without the ``wheel`` package).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's ablation studies (Fig. 5 and Fig. 6) from the API.
+
+Runs the delay-driven vs. fanout-driven ranking comparison and the
+path/cone/window expansion comparison on the ablation design and prints the
+register-usage trajectory of every configuration as a small ASCII chart.
+
+Run with::
+
+    python examples/extraction_strategy_ablation.py            # quick
+    python examples/extraction_strategy_ablation.py --full     # paper settings
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.experiments.fig5 import run_extraction_ablation
+from repro.experiments.fig6 import run_expansion_ablation
+
+
+def ascii_curve(registers: tuple[int, ...], width: int = 40) -> str:
+    """Render a register-usage trajectory as a compact sparkline."""
+    if not registers:
+        return ""
+    low, high = min(registers), max(registers)
+    span = max(1, high - low)
+    blocks = " .:-=+*#%@"
+    return "".join(blocks[int((value - low) / span * (len(blocks) - 1))]
+                   for value in registers[:width])
+
+
+def print_curves(title: str, curves) -> None:
+    print(f"\n{title}")
+    for (label, count), curve in sorted(curves.items()):
+        print(f"  {label:>7s} m={count:2d}  start={curve.registers[0]:5d}  "
+              f"final={curve.final_registers:5d}  "
+              f"best@iter={curve.iterations_to_best:2d}  "
+              f"[{ascii_curve(curve.registers)}]")
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    counts = (4, 8, 16) if full else (4, 16)
+    iterations = 30 if full else 10
+
+    extraction = run_extraction_ablation(subgraph_counts=counts,
+                                         iterations=iterations)
+    print_curves("Fig. 5 -- delay-driven vs. fanout-driven (path expansion)",
+                 extraction)
+
+    expansion = run_expansion_ablation(subgraph_counts=counts,
+                                       iterations=iterations)
+    print_curves("Fig. 6 -- path vs. cone vs. window (fanout-driven)", expansion)
+
+    fanout_final = min(curve.final_registers for (label, _), curve
+                       in extraction.items() if label == "fanout")
+    delay_final = min(curve.final_registers for (label, _), curve
+                      in extraction.items() if label == "delay")
+    print(f"\nfanout-driven best: {fanout_final} register bits; "
+          f"delay-driven best: {delay_final} register bits")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Table I on the full 17-design benchmark suite.
+
+Runs plain SDC and ISDC (fanout-driven, window-based, 16 subgraphs per
+iteration, up to 15 iterations) on every benchmark and prints the full table
+with the geometric-mean summary and ratio rows, in the paper's format.
+
+Run with::
+
+    python examples/full_benchmark_suite.py            # all 17 designs
+    python examples/full_benchmark_suite.py --quick    # reduced iterations
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    subgraphs = 8 if quick else 16
+    iterations = 6 if quick else 15
+
+    print(f"Running Table I ({'quick' if quick else 'full'} settings: "
+          f"m={subgraphs}, up to {iterations} iterations per design)...\n")
+    result = run_table1(subgraphs_per_iteration=subgraphs,
+                        max_iterations=iterations, verbose=True)
+
+    print()
+    print(format_table1(result))
+    print()
+    print(f"register ratio (ISDC/SDC geo-mean): {result.register_ratio:.1%} "
+          f"(paper: 71.5%)")
+    print(f"stage ratio:                        {result.stage_ratio:.1%} "
+          f"(paper: 70.0%)")
+    print(f"slack ratio:                        {result.slack_ratio:.1%} "
+          f"(paper: 60.9%)")
+    print(f"runtime multiplier:                 {result.runtime_ratio:.1f}x "
+          f"(paper: ~40x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""AIG analyses and transforms (depth, balancing)."""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.aig.aig import (
+    Aig,
+    Literal,
+    literal_complemented,
+    literal_negate,
+    literal_node,
+    make_literal,
+)
+
+
+def aig_depth(aig: Aig) -> int:
+    """Depth (maximum AND-level at any output) of ``aig``."""
+    return aig.depth()
+
+
+def _collect_and_leaves(aig: Aig, root_literal: Literal,
+                        fanout: dict[int, int]) -> list[Literal] | None:
+    """Leaves of the maximal single-fanout AND tree rooted at ``root_literal``.
+
+    Returns ``None`` if the root is not a non-complemented AND node (nothing
+    to balance).
+    """
+    if literal_complemented(root_literal):
+        return None
+    root = aig.node(literal_node(root_literal))
+    if not root.is_and:
+        return None
+    leaves: list[Literal] = []
+    stack = [root.fanin0, root.fanin1]
+    while stack:
+        literal = stack.pop()
+        node = aig.node(literal_node(literal))
+        expandable = (node.is_and and not literal_complemented(literal)
+                      and fanout[node.node_id] == 1)
+        if expandable:
+            stack.append(node.fanin0)
+            stack.append(node.fanin1)
+        else:
+            leaves.append(literal)
+    return leaves
+
+
+def balance_aig(aig: Aig) -> Aig:
+    """Return a depth-balanced copy of ``aig``.
+
+    Maximal fanout-free AND trees are rebuilt as balanced trees, merging the
+    shallowest operands first (the classic ABC ``balance`` strategy).
+    """
+    fanout: dict[int, int] = {node.node_id: 0 for node in aig.nodes()}
+    for node in aig.and_nodes():
+        fanout[literal_node(node.fanin0)] += 1
+        fanout[literal_node(node.fanin1)] += 1
+    for literal in aig.outputs():
+        fanout[literal_node(literal)] += 1
+
+    balanced = Aig(aig.name)
+    literal_map: dict[int, Literal] = {0: 0}
+    level: dict[int, int] = {0: 0}
+
+    def mapped(literal: Literal) -> Literal:
+        new_literal = literal_map[literal_node(literal)]
+        return literal_negate(new_literal) if literal_complemented(literal) else new_literal
+
+    def new_level(literal: Literal) -> int:
+        node = balanced.node(literal_node(literal))
+        return level.get(node.node_id, 0)
+
+    for node in aig.nodes()[1:]:
+        if node.is_input:
+            literal_map[node.node_id] = balanced.add_input(aig.input_name(node.node_id))
+            level[literal_node(literal_map[node.node_id])] = 0
+            continue
+        leaves = _collect_and_leaves(aig, make_literal(node.node_id), fanout)
+        if leaves and len(leaves) > 2:
+            heap: list[tuple[int, int, Literal]] = []
+            for index, leaf in enumerate(leaves):
+                new_leaf = mapped(leaf)
+                heapq.heappush(heap, (new_level(new_leaf), index, new_leaf))
+            counter = len(leaves)
+            while len(heap) > 1:
+                level_a, _, lit_a = heapq.heappop(heap)
+                level_b, _, lit_b = heapq.heappop(heap)
+                merged = balanced.add_and(lit_a, lit_b)
+                merged_level = max(level_a, level_b) + 1
+                level[literal_node(merged)] = max(level.get(literal_node(merged), 0),
+                                                  merged_level)
+                heapq.heappush(heap, (merged_level, counter, merged))
+                counter += 1
+            literal_map[node.node_id] = heap[0][2]
+        else:
+            merged = balanced.add_and(mapped(node.fanin0), mapped(node.fanin1))
+            level[literal_node(merged)] = max(
+                level.get(literal_node(merged), 0),
+                max(new_level(mapped(node.fanin0)), new_level(mapped(node.fanin1))) + 1)
+            literal_map[node.node_id] = merged
+
+    for output in aig.outputs():
+        balanced.mark_output(mapped(output))
+    return balanced

@@ -1,0 +1,49 @@
+"""Benchmark design generators.
+
+The paper evaluates on 17 XLS-based HLS designs: common algorithms (crc32,
+sha256, binary division, rotation, fast reciprocal square root, exponential)
+plus datapaths from industrial SoCs (an ML processor, a video processor, an
+internal datapath).  The proprietary designs cannot be redistributed, so this
+package provides synthetic but structurally faithful equivalents: the same
+operation mixes (MAC arrays, colour pipelines, ALU chains), the same relative
+size ordering, and widths chosen so the same clock-period split (2500 ps vs.
+5000 ps for multiplier-heavy designs) applies.
+
+All generators are deterministic pure functions of their parameters.
+"""
+
+from repro.designs.arith import (
+    build_binary_divide,
+    build_fpexp32,
+    build_float32_fast_rsqrt,
+    build_rrot,
+)
+from repro.designs.crypto import build_crc32, build_sha256
+from repro.designs.media import build_hsv2rgb, build_video_core_datapath
+from repro.designs.misc import build_internal_datapath
+from repro.designs.ml_core import (
+    build_ml_core_datapath0_all,
+    build_ml_core_datapath0_opcode,
+    build_ml_core_datapath1,
+    build_ml_core_datapath2,
+)
+from repro.designs.suite import BenchmarkCase, table1_suite, ablation_design
+
+__all__ = [
+    "build_binary_divide",
+    "build_fpexp32",
+    "build_float32_fast_rsqrt",
+    "build_rrot",
+    "build_crc32",
+    "build_sha256",
+    "build_hsv2rgb",
+    "build_video_core_datapath",
+    "build_internal_datapath",
+    "build_ml_core_datapath0_all",
+    "build_ml_core_datapath0_opcode",
+    "build_ml_core_datapath1",
+    "build_ml_core_datapath2",
+    "BenchmarkCase",
+    "table1_suite",
+    "ablation_design",
+]

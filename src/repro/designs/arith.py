@@ -1,0 +1,153 @@
+"""Arithmetic benchmark designs: rrot, binary_divide, rsqrt, fpexp."""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import DataflowGraph
+from repro.ir.node import Node
+
+
+def build_rrot(width: int = 32, num_rounds: int = 6) -> DataflowGraph:
+    """Rotate-and-mix datapath (the paper's ``rrot`` benchmark).
+
+    Each round rotates the running word by a data-dependent amount and mixes
+    it with a second operand through XOR/ADD alternation -- the structure of
+    an ARX permutation round.
+    """
+    builder = GraphBuilder("rrot")
+    value = builder.param("value", width)
+    mix = builder.param("mix", width)
+    amount = builder.param("amount", 5)
+
+    state: Node = value
+    for round_index in range(num_rounds):
+        rotated = builder.rotr(state, amount, name=f"rot{round_index}")
+        if round_index % 2 == 0:
+            mixed = builder.xor(rotated, mix, name=f"xor{round_index}")
+        else:
+            mixed = builder.add(rotated, mix, name=f"add{round_index}")
+        state = mixed
+    builder.output(state, name="rrot_out")
+    return builder.graph
+
+
+def build_binary_divide(width: int = 16, num_steps: int | None = None
+                        ) -> DataflowGraph:
+    """Restoring binary division unrolled at the IR level.
+
+    One step per quotient bit: shift the partial remainder left by one,
+    bring in the next dividend bit, conditionally subtract the divisor.
+    The unrolled subtract/select chain is the long dependence chain the
+    paper's ``binary divide`` benchmark schedules across 3 stages.
+    """
+    steps = num_steps if num_steps is not None else width
+    builder = GraphBuilder("binary_divide")
+    dividend = builder.param("dividend", width)
+    divisor = builder.param("divisor", width)
+    remainder: Node = builder.constant(0, width, name="rem0")
+    quotient_bits: list[Node] = []
+
+    for step in range(steps):
+        bit_index = width - 1 - step
+        next_bit = builder.bit_slice(dividend, bit_index, 1, name=f"dbit{step}")
+        shifted = builder.shl_const(remainder, 1, name=f"shl{step}")
+        brought_in = builder.or_(shifted, builder.zero_ext(next_bit, width),
+                                 name=f"acc{step}")
+        difference = builder.sub(brought_in, divisor, name=f"diff{step}")
+        fits = builder.uge(brought_in, divisor, name=f"fits{step}")
+        remainder = builder.select(fits, difference, brought_in, name=f"rem{step + 1}")
+        quotient_bits.append(fits)
+
+    # Step ``i`` processes dividend bit (width - 1 - i) and therefore produces
+    # quotient bit (width - 1 - i).
+    quotient = builder.shl_const(builder.zero_ext(quotient_bits[0], width),
+                                 width - 1, name="quot0")
+    for index, bit in enumerate(quotient_bits[1:], start=1):
+        position = width - 1 - index
+        shifted_bit = builder.zero_ext(bit, width)
+        if position:
+            shifted_bit = builder.shl_const(shifted_bit, position)
+        quotient = builder.or_(quotient, shifted_bit, name=f"quot{index}")
+    builder.output(quotient, name="quotient")
+    builder.output(remainder, name="remainder")
+    return builder.graph
+
+
+def build_float32_fast_rsqrt(width: int = 32, newton_iterations: int = 2
+                             ) -> DataflowGraph:
+    """Fast reciprocal square root in the style of the Quake III kernel.
+
+    The floating-point arithmetic is modelled in fixed point (the scheduling
+    problem only sees word-level multiplies, subtracts and shifts, exactly as
+    the XLS datapath does after float lowering): the magic-constant subtract
+    of the exponent trick followed by ``newton_iterations`` Newton-Raphson
+    refinement steps ``y = y * (3/2 - x/2 * y * y)``.
+    """
+    builder = GraphBuilder("float32_fast_rsqrt")
+    x = builder.param("x", width)
+    magic = builder.constant(0x5F3759DF, width, name="magic")
+    three_halves = builder.constant(3 << (width // 2 - 1), width, name="three_halves")
+
+    half_x = builder.shrl_const(x, 1, name="half_x")
+    estimate = builder.sub(magic, builder.shrl_const(x, 1), name="seed")
+
+    y: Node = estimate
+    for iteration in range(newton_iterations):
+        y_squared = builder.mul(y, y, name=f"y2_{iteration}")
+        scaled = builder.mul(half_x, y_squared, name=f"xy2_{iteration}")
+        correction = builder.sub(three_halves, scaled, name=f"corr_{iteration}")
+        y = builder.mul(y, correction, name=f"y_{iteration + 1}")
+    builder.output(y, name="rsqrt_out")
+    return builder.graph
+
+
+def build_fpexp32(width: int = 32, polynomial_degree: int = 5,
+                  num_segments: int = 2) -> DataflowGraph:
+    """Fixed-point exponential datapath (the paper's ``fpexp 32``).
+
+    Range reduction (subtract k*ln2 via multiply/shift), followed by a Horner
+    evaluation of a degree-``polynomial_degree`` polynomial, replicated over
+    ``num_segments`` accuracy segments combined with selects, then a final
+    reconstruction shift.  This yields the long multiply-add chains that make
+    fpexp the second-largest design of Table I.
+    """
+    builder = GraphBuilder("fpexp_32")
+    x = builder.param("x", width)
+    ln2_inverse = builder.constant(0x0000B8AA, width, name="inv_ln2")
+    ln2 = builder.constant(0x0000B172, width, name="ln2")
+
+    # Range reduction: k = round(x / ln2), r = x - k * ln2.
+    k_raw = builder.mul(x, ln2_inverse, name="k_raw")
+    k = builder.shrl_const(k_raw, 16, name="k")
+    k_ln2 = builder.mul(k, ln2, name="k_ln2")
+    r = builder.sub(x, k_ln2, name="r")
+
+    # Polynomial coefficients of exp(r) ~= sum c_i r^i (Q16 fixed point).
+    coefficients = [0x00010000, 0x00010000, 0x00008000, 0x00002AAA, 0x00000AAA,
+                    0x00000222, 0x0000005B]
+
+    segment_results: list[Node] = []
+    for segment in range(num_segments):
+        accumulator: Node = builder.constant(
+            coefficients[polynomial_degree] + segment, width,
+            name=f"c{polynomial_degree}_s{segment}")
+        for degree in range(polynomial_degree - 1, -1, -1):
+            coefficient = builder.constant(coefficients[degree], width,
+                                           name=f"c{degree}_s{segment}")
+            product = builder.mul(accumulator, r, name=f"horner_mul_{segment}_{degree}")
+            scaled = builder.shrl_const(product, 16, name=f"horner_shift_{segment}_{degree}")
+            accumulator = builder.add(scaled, coefficient,
+                                      name=f"horner_add_{segment}_{degree}")
+        segment_results.append(accumulator)
+
+    result = segment_results[0]
+    for segment, candidate in enumerate(segment_results[1:], start=1):
+        threshold = builder.constant(segment << 14, width, name=f"seg_thr{segment}")
+        use_candidate = builder.ugt(r, threshold, name=f"seg_sel{segment}")
+        result = builder.select(use_candidate, candidate, result,
+                                name=f"seg_mux{segment}")
+
+    reconstructed = builder.shl(result, builder.bit_slice(k, 0, 5, name="k_low"),
+                                name="reconstruct")
+    builder.output(reconstructed, name="exp_out")
+    return builder.graph

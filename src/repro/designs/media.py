@@ -1,0 +1,102 @@
+"""Media-processing benchmark designs: hsv2rgb and the video-core datapath."""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import DataflowGraph
+from repro.ir.node import Node
+
+
+def build_hsv2rgb(width: int = 32) -> DataflowGraph:
+    """HSV to RGB colour-space conversion datapath.
+
+    The classic sector-based conversion: compute the chroma and intermediate
+    terms with multiplies, then select the (R, G, B) permutation according to
+    the hue sector with compare/select chains.  The 32-bit multiplies push the
+    individual operation delay above 2.5 ns, hence the 5 ns clock in Table I.
+    """
+    builder = GraphBuilder("hsv2rgb")
+    hue = builder.param("h", width)
+    saturation = builder.param("s", width)
+    value = builder.param("v", width)
+
+    chroma_raw = builder.mul(value, saturation, name="chroma_raw")
+    chroma = builder.shrl_const(chroma_raw, 8, name="chroma")
+
+    sector = builder.shrl_const(hue, 8, name="sector")
+    fraction = builder.and_(hue, builder.constant(0xFF, width), name="fraction")
+
+    ramp_up_raw = builder.mul(chroma, fraction, name="ramp_up_raw")
+    ramp_up = builder.shrl_const(ramp_up_raw, 8, name="ramp_up")
+    inverse_fraction = builder.sub(builder.constant(0xFF, width), fraction,
+                                   name="inv_fraction")
+    ramp_down_raw = builder.mul(chroma, inverse_fraction, name="ramp_down_raw")
+    ramp_down = builder.shrl_const(ramp_down_raw, 8, name="ramp_down")
+    base = builder.sub(value, chroma, name="base")
+
+    def sector_equals(index: int) -> Node:
+        return builder.eq(sector, builder.constant(index, width),
+                          name=f"is_sector{index}")
+
+    def pick(candidates: list[Node], tag: str) -> Node:
+        selected = candidates[0]
+        for index, candidate in enumerate(candidates[1:], start=1):
+            selected = builder.select(sector_equals(index), candidate, selected,
+                                      name=f"{tag}_mux{index}")
+        return selected
+
+    red = pick([chroma, ramp_down, builder.constant(0, width),
+                builder.constant(0, width), ramp_up, chroma], "red")
+    green = pick([ramp_up, chroma, chroma, ramp_down,
+                  builder.constant(0, width), builder.constant(0, width)], "green")
+    blue = pick([builder.constant(0, width), builder.constant(0, width), ramp_up,
+                 chroma, chroma, ramp_down], "blue")
+
+    builder.output(builder.add(red, base, name="r_out"), name="r")
+    builder.output(builder.add(green, base, name="g_out"), name="g")
+    builder.output(builder.add(blue, base, name="b_out"), name="b")
+    return builder.graph
+
+
+def build_video_core_datapath(taps: int = 5, width: int = 16,
+                              channels: int = 3) -> DataflowGraph:
+    """Video-processor datapath: colour conversion followed by an FIR filter.
+
+    Per channel: an RGB-to-luma style weighted sum, then a ``taps``-tap FIR
+    over neighbouring pixels with coefficient multiplies, rounding shifts and
+    a final clamp.  This is the paper's ``video-core datapath`` row: 16-bit
+    multiplies keep every operation under the 2.5 ns clock, but the sheer
+    number of operations pushes the schedule to ~12 stages.
+    """
+    builder = GraphBuilder("video_core_datapath")
+    pixels = [[builder.param(f"pix_c{channel}_t{tap}", width)
+               for tap in range(taps)] for channel in range(channels)]
+    coefficients = [builder.param(f"coef{tap}", width) for tap in range(taps)]
+    colour_weights = [builder.param(f"cw{channel}", width)
+                      for channel in range(channels)]
+    offset = builder.param("offset", width)
+
+    filtered_channels: list[Node] = []
+    for channel in range(channels):
+        taps_scaled: list[Node] = []
+        for tap in range(taps):
+            product = builder.mul(pixels[channel][tap], coefficients[tap],
+                                  name=f"fir_c{channel}_t{tap}")
+            taps_scaled.append(builder.shrl_const(product, 4,
+                                                  name=f"fir_sh_c{channel}_t{tap}"))
+        fir_sum = builder.add_tree(taps_scaled, name=f"fir_sum_c{channel}")
+        weighted = builder.mul(fir_sum, colour_weights[channel],
+                               name=f"weighted_c{channel}")
+        filtered_channels.append(builder.shrl_const(weighted, 6,
+                                                    name=f"norm_c{channel}"))
+
+    luma = builder.add_tree(filtered_channels, name="luma")
+    biased = builder.add(luma, offset, name="biased")
+
+    limit = builder.constant((1 << (width - 1)) - 1, width, name="limit")
+    clipped = builder.select(builder.ugt(biased, limit, name="overflow"),
+                             limit, biased, name="clipped")
+    builder.output(clipped, name="luma_out")
+    for channel in range(channels):
+        builder.output(filtered_channels[channel], name=f"chan{channel}_out")
+    return builder.graph

@@ -1,0 +1,49 @@
+"""The 'internal datapath' benchmark: a deep mixed-operation ALU chain."""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import DataflowGraph
+from repro.ir.node import Node
+
+
+def build_internal_datapath(width: int = 32, num_rounds: int = 12,
+                            lanes: int = 2) -> DataflowGraph:
+    """A long chain of mixed ALU rounds (the paper's ``internal datapath``).
+
+    Each round applies, per lane, a different combination of add/xor/rotate/
+    compare/select, and lanes exchange values every other round.  The result
+    is a deep, mostly serial dependence chain: the paper schedules this design
+    into 26 stages, the deepest of the 2.5 ns-clock benchmarks.
+    """
+    builder = GraphBuilder("internal_datapath")
+    lanes_state: list[Node] = [builder.param(f"in{i}", width) for i in range(lanes)]
+    keys = [builder.param(f"key{i}", width) for i in range(lanes)]
+    threshold = builder.param("threshold", width)
+
+    for round_index in range(num_rounds):
+        next_state: list[Node] = []
+        for lane in range(lanes):
+            value = lanes_state[lane]
+            key = keys[(lane + round_index) % lanes]
+            tag = f"r{round_index}_l{lane}"
+            mixed = builder.add(value, key, name=f"{tag}_add")
+            rotated = builder.rotr_const(mixed, (round_index * 7 + lane * 3) % width or 1,
+                                         name=f"{tag}_rot")
+            toggled = builder.xor(rotated, value, name=f"{tag}_xor")
+            over = builder.ugt(toggled, threshold, name=f"{tag}_cmp")
+            reduced = builder.sub(toggled, threshold, name=f"{tag}_sub")
+            selected = builder.select(over, reduced, toggled, name=f"{tag}_sel")
+            next_state.append(selected)
+        if round_index % 2 == 1 and lanes > 1:
+            # Swap lanes to create cross-lane dependences.
+            next_state = next_state[1:] + next_state[:1]
+        lanes_state = next_state
+
+    combined = lanes_state[0]
+    for lane, value in enumerate(lanes_state[1:], start=1):
+        combined = builder.xor(combined, value, name=f"combine{lane}")
+    builder.output(combined, name="out")
+    for lane, value in enumerate(lanes_state):
+        builder.output(value, name=f"lane{lane}_out")
+    return builder.graph

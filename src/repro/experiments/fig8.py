@@ -1,0 +1,80 @@
+"""Fig. 8: post-synthesis STA delay vs. AIG depth correlation.
+
+The paper's discussion section shows a compelling linear correlation between
+post-synthesis STA delay and the AIG depth of the same logic in ABC, and
+suggests AIG depth as a cheap feedback signal.  The same sweep as Fig. 1 is
+reused: every profiled pipeline stage contributes one (AIG depth, measured
+delay) point, and the harness reports the Pearson correlation between the two
+(expected to be strongly positive) together with a least-squares ps-per-level
+slope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.designs.suite import BenchmarkCase
+from repro.experiments.fig1 import DesignPoint, run_delay_profile
+from repro.experiments.tables import pearson_correlation
+
+
+@dataclass(frozen=True)
+class AigCorrelationResult:
+    """Correlation between AIG depth and post-synthesis delay.
+
+    Attributes:
+        points: the underlying design points.
+        correlation: Pearson correlation between depth and measured delay.
+        ps_per_level: least-squares slope (picoseconds per AIG level).
+        intercept_ps: least-squares intercept.
+    """
+
+    points: tuple[DesignPoint, ...]
+    correlation: float
+    ps_per_level: float
+    intercept_ps: float
+
+
+def run_aig_correlation(cases: list[BenchmarkCase] | None = None,
+                        clock_scales: tuple[float, ...] = (0.7, 0.85, 1.0, 1.25, 1.5),
+                        points: list[DesignPoint] | None = None
+                        ) -> AigCorrelationResult:
+    """Reproduce Fig. 8.
+
+    Args:
+        cases: benchmark cases to sweep (defaults to the Fig. 1 subset).
+        clock_scales: clock multipliers of the sweep.
+        points: reuse an existing Fig. 1 profile instead of re-running it.
+    """
+    if points is None:
+        points = run_delay_profile(cases, clock_scales, compute_aig=True)
+    usable = [p for p in points if p.aig_depth > 0]
+    depths = [float(p.aig_depth) for p in usable]
+    delays = [p.measured_delay_ps for p in usable]
+    correlation = pearson_correlation(depths, delays)
+
+    slope, intercept = _least_squares(depths, delays)
+    return AigCorrelationResult(points=tuple(usable), correlation=correlation,
+                                ps_per_level=slope, intercept_ps=intercept)
+
+
+def _least_squares(xs: list[float], ys: list[float]) -> tuple[float, float]:
+    """Simple 1-D least-squares fit ``y = slope * x + intercept``."""
+    n = len(xs)
+    if n < 2:
+        return 0.0, ys[0] if ys else 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    denominator = sum((x - mean_x) ** 2 for x in xs)
+    if denominator == 0:
+        return 0.0, mean_y
+    slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / denominator
+    return slope, mean_y - slope * mean_x
+
+
+def format_aig_correlation(result: AigCorrelationResult) -> str:
+    """One-paragraph summary of the Fig. 8 reproduction."""
+    return (f"{len(result.points)} design points; "
+            f"Pearson correlation (AIG depth vs. STA delay) = {result.correlation:.3f}; "
+            f"fit: delay ~= {result.ps_per_level:.1f} ps/level "
+            f"+ {result.intercept_ps:.1f} ps")

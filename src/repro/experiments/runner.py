@@ -1,0 +1,89 @@
+"""Command-line entry point for the experiment harnesses.
+
+Usage::
+
+    python -m repro.experiments.runner table1 [--quick]
+    python -m repro.experiments.runner fig1
+    python -m repro.experiments.runner fig5 [--quick]
+    python -m repro.experiments.runner fig6 [--quick]
+    python -m repro.experiments.runner fig7
+    python -m repro.experiments.runner fig8
+
+Each sub-command regenerates one artefact of the paper's evaluation and
+prints its ASCII rendition; ``--quick`` reduces iteration counts and design
+subsets so a run finishes in well under a minute.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.designs.suite import table1_suite
+from repro.experiments.fig1 import format_profile, run_delay_profile
+from repro.experiments.fig5 import format_ablation, run_extraction_ablation
+from repro.experiments.fig6 import run_expansion_ablation
+from repro.experiments.fig7 import format_estimation_accuracy, run_estimation_accuracy
+from repro.experiments.fig8 import format_aig_correlation, run_aig_correlation
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def _small_cases():
+    wanted = {"ML-core datapath1", "rrot", "binary divide", "crc32"}
+    return [case for case in table1_suite() if case.name in wanted]
+
+
+def run_experiment(name: str, quick: bool = False) -> str:
+    """Run one experiment by name and return its printable report.
+
+    Args:
+        name: one of ``table1``, ``fig1``, ``fig5``, ``fig6``, ``fig7``, ``fig8``.
+        quick: use reduced settings.
+
+    Raises:
+        ValueError: for an unknown experiment name.
+    """
+    if name == "table1":
+        result = run_table1(subgraphs_per_iteration=8 if quick else 16,
+                            max_iterations=5 if quick else 15,
+                            cases=_small_cases() if quick else None)
+        return format_table1(result)
+    if name == "fig1":
+        points = run_delay_profile(_small_cases() if quick else None,
+                                   compute_aig=False)
+        return format_profile(points)
+    if name == "fig5":
+        curves = run_extraction_ablation(
+            subgraph_counts=(4, 16) if quick else (4, 8, 16),
+            iterations=8 if quick else 30)
+        return format_ablation(curves)
+    if name == "fig6":
+        curves = run_expansion_ablation(
+            subgraph_counts=(8,) if quick else (4, 8, 16),
+            iterations=8 if quick else 30)
+        return format_ablation(curves)
+    if name == "fig7":
+        result = run_estimation_accuracy(
+            _small_cases() if quick else None,
+            max_iterations=5 if quick else 10)
+        return format_estimation_accuracy(result)
+    if name == "fig8":
+        result = run_aig_correlation(_small_cases() if quick else None)
+        return format_aig_correlation(result)
+    raise ValueError(f"unknown experiment {name!r}; expected table1 or fig1/5/6/7/8")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Regenerate one table/figure of the ISDC paper.")
+    parser.add_argument("experiment",
+                        choices=["table1", "fig1", "fig5", "fig6", "fig7", "fig8"])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced settings (seconds instead of minutes)")
+    arguments = parser.parse_args(argv)
+    print(run_experiment(arguments.experiment, quick=arguments.quick))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

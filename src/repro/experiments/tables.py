@@ -1,0 +1,48 @@
+"""Small table/statistics helpers shared by the experiment harnesses."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (zeros are clamped to 1e-9).
+
+    The paper's Table I summarises every column with a geometric mean; the
+    clamp keeps the summary defined even if a metric collapses to zero.
+    """
+    items = [max(float(v), 1e-9) for v in values]
+    if not items:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in items) / len(items))
+
+
+def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length sequences."""
+    if len(xs) != len(ys):
+        raise ValueError("sequences must have equal length")
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x <= 0 or var_y <= 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a simple fixed-width ASCII table."""
+    columns = [[str(h)] + [str(row[i]) for row in rows] for i, h in enumerate(headers)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Word-level HLS intermediate representation.
+
+The IR models the dataflow graph (DFG) that an HLS scheduler operates on:
+typed operation nodes (additions, multiplications, shifts, selects, ...)
+carrying bit widths, connected by SSA values.  It is the stand-in for the
+Google XLS IR used in the paper -- scheduling only ever consumes the DAG
+structure, the per-operation delay/area characterisation, and the result
+bit widths, all of which this package provides.
+
+Public entry points:
+
+* :class:`~repro.ir.ops.OpKind` -- the opcode enumeration.
+* :class:`~repro.ir.node.Node` / :class:`~repro.ir.node.Value` -- graph elements.
+* :class:`~repro.ir.graph.DataflowGraph` -- the DFG container.
+* :class:`~repro.ir.builder.GraphBuilder` -- convenience construction API.
+* :mod:`~repro.ir.textual` -- a human-readable text format (parse / print).
+* :mod:`~repro.ir.analysis` -- topological order, reachability, statistics.
+* :func:`~repro.ir.verify.verify_graph` -- structural validation.
+"""
+
+from repro.ir.ops import OpKind, OpSignature, signature_of
+from repro.ir.node import Node, Value
+from repro.ir.graph import DataflowGraph
+from repro.ir.builder import GraphBuilder
+from repro.ir.analysis import (
+    topological_order,
+    reverse_topological_order,
+    reachable_from,
+    reaching_to,
+    graph_statistics,
+    GraphStatistics,
+)
+from repro.ir.verify import verify_graph, IRVerificationError
+from repro.ir.textual import graph_to_text, graph_from_text
+from repro.ir.interpreter import evaluate_graph, evaluate_outputs
+
+__all__ = [
+    "OpKind",
+    "OpSignature",
+    "signature_of",
+    "Node",
+    "Value",
+    "DataflowGraph",
+    "GraphBuilder",
+    "topological_order",
+    "reverse_topological_order",
+    "reachable_from",
+    "reaching_to",
+    "graph_statistics",
+    "GraphStatistics",
+    "verify_graph",
+    "IRVerificationError",
+    "graph_to_text",
+    "graph_from_text",
+    "evaluate_graph",
+    "evaluate_outputs",
+]

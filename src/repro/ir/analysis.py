@@ -1,0 +1,156 @@
+"""Structural analyses over dataflow graphs.
+
+These are the building blocks both the SDC scheduler and the ISDC subgraph
+extractor rely on: topological orders, reachability sets, per-graph
+statistics.  Everything here is pure and does not mutate the graph.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+
+from repro.ir.graph import DataflowGraph
+from repro.ir.ops import OpKind
+
+
+def topological_order(graph: DataflowGraph) -> list[int]:
+    """Return node ids in a topological order (operands before users).
+
+    Uses Kahn's algorithm; ties are broken by ascending node id so the order
+    is deterministic.
+
+    Raises:
+        ValueError: if the graph contains a cycle.
+    """
+    indegree: dict[int, int] = {}
+    for node in graph.nodes():
+        indegree[node.node_id] = len(set(node.operands))
+    ready = sorted(nid for nid, deg in indegree.items() if deg == 0)
+    queue: deque[int] = deque(ready)
+    order: list[int] = []
+    seen_edges: dict[int, set[int]] = {nid: set() for nid in indegree}
+    while queue:
+        nid = queue.popleft()
+        order.append(nid)
+        for user in sorted(set(graph.users_of(nid))):
+            if nid in seen_edges[user]:
+                continue
+            seen_edges[user].add(nid)
+            indegree[user] -= 1
+            if indegree[user] == 0:
+                queue.append(user)
+    if len(order) != len(graph):
+        raise ValueError(f"graph {graph.name!r} contains a cycle")
+    return order
+
+
+def reverse_topological_order(graph: DataflowGraph) -> list[int]:
+    """Return node ids in reverse topological order (users before operands)."""
+    return list(reversed(topological_order(graph)))
+
+
+def reachable_from(graph: DataflowGraph, node_id: int) -> set[int]:
+    """Ids of all nodes reachable *downstream* from ``node_id`` (inclusive)."""
+    seen = {node_id}
+    stack = [node_id]
+    while stack:
+        current = stack.pop()
+        for user in graph.users_of(current):
+            if user not in seen:
+                seen.add(user)
+                stack.append(user)
+    return seen
+
+
+def reaching_to(graph: DataflowGraph, node_id: int) -> set[int]:
+    """Ids of all nodes *upstream* of ``node_id`` (inclusive)."""
+    seen = {node_id}
+    stack = [node_id]
+    while stack:
+        current = stack.pop()
+        for operand in graph.operands_of(current):
+            if operand not in seen:
+                seen.add(operand)
+                stack.append(operand)
+    return seen
+
+
+def is_connected(graph: DataflowGraph, src: int, dst: int) -> bool:
+    """True if there is a directed path from ``src`` to ``dst``."""
+    if src == dst:
+        return True
+    return dst in reachable_from(graph, src)
+
+
+def longest_path_lengths(graph: DataflowGraph) -> dict[int, int]:
+    """Length (in edges) of the longest path from any source to each node."""
+    depth: dict[int, int] = {}
+    for nid in topological_order(graph):
+        operands = graph.operands_of(nid)
+        if not operands:
+            depth[nid] = 0
+        else:
+            depth[nid] = 1 + max(depth[o] for o in operands)
+    return depth
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """Summary statistics of a dataflow graph.
+
+    Attributes:
+        num_nodes: total node count (including sources and outputs).
+        num_operations: nodes that are neither sources nor outputs.
+        num_params: primary-input count.
+        num_constants: constant-literal count.
+        num_outputs: primary-output count.
+        num_edges: dataflow edge count (operand references).
+        total_bits: sum of result widths over operation nodes.
+        max_depth: longest source-to-sink path length in edges.
+        kind_histogram: operation count per opcode name.
+    """
+
+    num_nodes: int
+    num_operations: int
+    num_params: int
+    num_constants: int
+    num_outputs: int
+    num_edges: int
+    total_bits: int
+    max_depth: int
+    kind_histogram: dict[str, int]
+
+
+def graph_statistics(graph: DataflowGraph) -> GraphStatistics:
+    """Compute :class:`GraphStatistics` for ``graph``."""
+    histogram: Counter[str] = Counter()
+    num_params = 0
+    num_constants = 0
+    num_outputs = 0
+    num_edges = 0
+    total_bits = 0
+    for node in graph.nodes():
+        histogram[node.kind.value] += 1
+        num_edges += len(node.operands)
+        if node.kind is OpKind.PARAM:
+            num_params += 1
+        elif node.kind is OpKind.CONSTANT:
+            num_constants += 1
+        elif node.kind is OpKind.OUTPUT:
+            num_outputs += 1
+        else:
+            total_bits += node.width
+    depths = longest_path_lengths(graph) if len(graph) else {}
+    num_operations = len(graph) - num_params - num_constants - num_outputs
+    return GraphStatistics(
+        num_nodes=len(graph),
+        num_operations=num_operations,
+        num_params=num_params,
+        num_constants=num_constants,
+        num_outputs=num_outputs,
+        num_edges=num_edges,
+        total_bits=total_bits,
+        max_depth=max(depths.values()) if depths else 0,
+        kind_histogram=dict(histogram),
+    )

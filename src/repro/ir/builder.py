@@ -1,0 +1,242 @@
+"""Fluent construction API for dataflow graphs.
+
+The builder wraps :class:`~repro.ir.graph.DataflowGraph` with methods named
+after the opcodes, returning :class:`~repro.ir.node.Node` handles that can be
+passed directly as operands.  Benchmark design generators are written against
+this API, which keeps them short and close to the pseudocode of the
+corresponding algorithm (CRC, SHA-256 round, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from repro.ir.graph import DataflowGraph
+from repro.ir.node import Node
+from repro.ir.ops import OpKind
+
+NodeLike = Union[Node, int]
+
+
+def _node_id(node: NodeLike) -> int:
+    return node.node_id if isinstance(node, Node) else int(node)
+
+
+class GraphBuilder:
+    """Builds a :class:`DataflowGraph` through opcode-named methods.
+
+    Example:
+        >>> b = GraphBuilder("adder")
+        >>> x = b.param("x", 8)
+        >>> y = b.param("y", 8)
+        >>> s = b.add(x, y)
+        >>> _ = b.output(s, "sum")
+        >>> len(b.graph)
+        4
+    """
+
+    def __init__(self, name: str = "design") -> None:
+        self.graph = DataflowGraph(name)
+
+    # ----------------------------------------------------------- sources
+
+    def param(self, name: str, width: int) -> Node:
+        """Declare a primary input of the given width."""
+        return self.graph.add_node(OpKind.PARAM, (), width=width, name=name)
+
+    def constant(self, value: int, width: int, name: str = "") -> Node:
+        """Create a constant literal node."""
+        masked = value & ((1 << width) - 1)
+        return self.graph.add_node(OpKind.CONSTANT, (), width=width, name=name,
+                                   value=masked)
+
+    def output(self, value: NodeLike, name: str = "") -> Node:
+        """Mark ``value`` as a primary output."""
+        return self.graph.add_node(OpKind.OUTPUT, (_node_id(value),), name=name)
+
+    # -------------------------------------------------------- arithmetic
+
+    def _binary(self, kind: OpKind, a: NodeLike, b: NodeLike, name: str = "",
+                width: int | None = None) -> Node:
+        return self.graph.add_node(kind, (_node_id(a), _node_id(b)), width=width,
+                                   name=name)
+
+    def add(self, a: NodeLike, b: NodeLike, name: str = "") -> Node:
+        return self._binary(OpKind.ADD, a, b, name)
+
+    def sub(self, a: NodeLike, b: NodeLike, name: str = "") -> Node:
+        return self._binary(OpKind.SUB, a, b, name)
+
+    def mul(self, a: NodeLike, b: NodeLike, name: str = "",
+            width: int | None = None) -> Node:
+        return self._binary(OpKind.MUL, a, b, name, width)
+
+    def udiv(self, a: NodeLike, b: NodeLike, name: str = "") -> Node:
+        return self._binary(OpKind.UDIV, a, b, name)
+
+    def umod(self, a: NodeLike, b: NodeLike, name: str = "") -> Node:
+        return self._binary(OpKind.UMOD, a, b, name)
+
+    def neg(self, a: NodeLike, name: str = "") -> Node:
+        return self.graph.add_node(OpKind.NEG, (_node_id(a),), name=name)
+
+    def muladd(self, a: NodeLike, b: NodeLike, c: NodeLike, name: str = "",
+               width: int | None = None) -> Node:
+        return self.graph.add_node(
+            OpKind.MULADD, (_node_id(a), _node_id(b), _node_id(c)),
+            width=width, name=name)
+
+    # ------------------------------------------------------------- logic
+
+    def and_(self, *operands: NodeLike, name: str = "") -> Node:
+        return self.graph.add_node(OpKind.AND, tuple(_node_id(o) for o in operands),
+                                   name=name)
+
+    def or_(self, *operands: NodeLike, name: str = "") -> Node:
+        return self.graph.add_node(OpKind.OR, tuple(_node_id(o) for o in operands),
+                                   name=name)
+
+    def xor(self, *operands: NodeLike, name: str = "") -> Node:
+        return self.graph.add_node(OpKind.XOR, tuple(_node_id(o) for o in operands),
+                                   name=name)
+
+    def not_(self, a: NodeLike, name: str = "") -> Node:
+        return self.graph.add_node(OpKind.NOT, (_node_id(a),), name=name)
+
+    def andn(self, a: NodeLike, b: NodeLike, name: str = "") -> Node:
+        return self._binary(OpKind.ANDN, a, b, name)
+
+    def and_reduce(self, a: NodeLike, name: str = "") -> Node:
+        return self.graph.add_node(OpKind.AND_REDUCE, (_node_id(a),), name=name)
+
+    def or_reduce(self, a: NodeLike, name: str = "") -> Node:
+        return self.graph.add_node(OpKind.OR_REDUCE, (_node_id(a),), name=name)
+
+    def xor_reduce(self, a: NodeLike, name: str = "") -> Node:
+        return self.graph.add_node(OpKind.XOR_REDUCE, (_node_id(a),), name=name)
+
+    # ------------------------------------------------------ shifts / rotates
+
+    def shl(self, a: NodeLike, amount: NodeLike, name: str = "") -> Node:
+        return self._binary(OpKind.SHL, a, amount, name)
+
+    def shrl(self, a: NodeLike, amount: NodeLike, name: str = "") -> Node:
+        return self._binary(OpKind.SHRL, a, amount, name)
+
+    def shra(self, a: NodeLike, amount: NodeLike, name: str = "") -> Node:
+        return self._binary(OpKind.SHRA, a, amount, name)
+
+    def rotl(self, a: NodeLike, amount: NodeLike, name: str = "") -> Node:
+        return self._binary(OpKind.ROTL, a, amount, name)
+
+    def rotr(self, a: NodeLike, amount: NodeLike, name: str = "") -> Node:
+        return self._binary(OpKind.ROTR, a, amount, name)
+
+    def shl_const(self, a: NodeLike, amount: int, name: str = "") -> Node:
+        """Shift left by a constant amount (constant node + SHL)."""
+        width = self.graph.node(_node_id(a)).width
+        shift = self.constant(amount, max(1, amount.bit_length() or 1))
+        del width
+        return self.shl(a, shift, name)
+
+    def rotr_const(self, a: NodeLike, amount: int, name: str = "") -> Node:
+        """Rotate right by a constant amount."""
+        shift = self.constant(amount, max(1, amount.bit_length() or 1))
+        return self.rotr(a, shift, name)
+
+    def shrl_const(self, a: NodeLike, amount: int, name: str = "") -> Node:
+        """Logical shift right by a constant amount."""
+        shift = self.constant(amount, max(1, amount.bit_length() or 1))
+        return self.shrl(a, shift, name)
+
+    # ------------------------------------------------------------ compares
+
+    def eq(self, a: NodeLike, b: NodeLike, name: str = "") -> Node:
+        return self._binary(OpKind.EQ, a, b, name)
+
+    def ne(self, a: NodeLike, b: NodeLike, name: str = "") -> Node:
+        return self._binary(OpKind.NE, a, b, name)
+
+    def ult(self, a: NodeLike, b: NodeLike, name: str = "") -> Node:
+        return self._binary(OpKind.ULT, a, b, name)
+
+    def ule(self, a: NodeLike, b: NodeLike, name: str = "") -> Node:
+        return self._binary(OpKind.ULE, a, b, name)
+
+    def ugt(self, a: NodeLike, b: NodeLike, name: str = "") -> Node:
+        return self._binary(OpKind.UGT, a, b, name)
+
+    def uge(self, a: NodeLike, b: NodeLike, name: str = "") -> Node:
+        return self._binary(OpKind.UGE, a, b, name)
+
+    def slt(self, a: NodeLike, b: NodeLike, name: str = "") -> Node:
+        return self._binary(OpKind.SLT, a, b, name)
+
+    def sgt(self, a: NodeLike, b: NodeLike, name: str = "") -> Node:
+        return self._binary(OpKind.SGT, a, b, name)
+
+    # ------------------------------------------- selection / bit manipulation
+
+    def select(self, cond: NodeLike, on_true: NodeLike, on_false: NodeLike,
+               name: str = "") -> Node:
+        return self.graph.add_node(
+            OpKind.SEL, (_node_id(cond), _node_id(on_true), _node_id(on_false)),
+            name=name)
+
+    def concat(self, *operands: NodeLike, name: str = "") -> Node:
+        return self.graph.add_node(OpKind.CONCAT,
+                                   tuple(_node_id(o) for o in operands), name=name)
+
+    def bit_slice(self, a: NodeLike, start: int, width: int, name: str = "") -> Node:
+        return self.graph.add_node(OpKind.BIT_SLICE, (_node_id(a),), width=width,
+                                   name=name, start=start)
+
+    def zero_ext(self, a: NodeLike, width: int, name: str = "") -> Node:
+        return self.graph.add_node(OpKind.ZERO_EXT, (_node_id(a),), width=width,
+                                   name=name)
+
+    def sign_ext(self, a: NodeLike, width: int, name: str = "") -> Node:
+        return self.graph.add_node(OpKind.SIGN_EXT, (_node_id(a),), width=width,
+                                   name=name)
+
+    def identity(self, a: NodeLike, name: str = "") -> Node:
+        return self.graph.add_node(OpKind.IDENTITY, (_node_id(a),), name=name)
+
+    def clz(self, a: NodeLike, name: str = "") -> Node:
+        return self.graph.add_node(OpKind.CLZ, (_node_id(a),), name=name)
+
+    def popcount(self, a: NodeLike, name: str = "") -> Node:
+        return self.graph.add_node(OpKind.POPCOUNT, (_node_id(a),), name=name)
+
+    # ------------------------------------------------------------- helpers
+
+    def add_tree(self, operands: Iterable[NodeLike], name: str = "") -> Node:
+        """Sum a list of operands with a balanced adder tree."""
+        items = [self.graph.node(_node_id(o)) for o in operands]
+        if not items:
+            raise ValueError("add_tree needs at least one operand")
+        level = 0
+        while len(items) > 1:
+            next_items = []
+            for i in range(0, len(items) - 1, 2):
+                next_items.append(self.add(items[i], items[i + 1],
+                                           name=f"{name}_l{level}_{i // 2}" if name else ""))
+            if len(items) % 2:
+                next_items.append(items[-1])
+            items = next_items
+            level += 1
+        return items[0]
+
+    def xor_tree(self, operands: Iterable[NodeLike], name: str = "") -> Node:
+        """XOR a list of operands with a balanced tree."""
+        items = [self.graph.node(_node_id(o)) for o in operands]
+        if not items:
+            raise ValueError("xor_tree needs at least one operand")
+        while len(items) > 1:
+            next_items = []
+            for i in range(0, len(items) - 1, 2):
+                next_items.append(self.xor(items[i], items[i + 1]))
+            if len(items) % 2:
+                next_items.append(items[-1])
+            items = next_items
+        return items[0]

@@ -1,0 +1,170 @@
+"""The dataflow graph (DFG) container.
+
+A :class:`DataflowGraph` is a DAG of :class:`~repro.ir.node.Node` objects.
+Edges run from operand producers to consumers.  The container maintains both
+forward (users) and backward (operands) adjacency so that the scheduler and
+the subgraph extractor can walk in either direction cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+import networkx as nx
+
+from repro.ir.node import Node
+from repro.ir.ops import OpKind, infer_result_width
+
+
+class DataflowGraph:
+    """A directed acyclic graph of word-level operations.
+
+    Nodes are created through :meth:`add_node` (or the higher-level
+    :class:`~repro.ir.builder.GraphBuilder`) and are immutable once added,
+    except for their ``attrs`` dictionary.
+
+    Attributes:
+        name: design name, used in reports and benchmark tables.
+    """
+
+    def __init__(self, name: str = "design") -> None:
+        self.name = name
+        self._nodes: dict[int, Node] = {}
+        self._users: dict[int, list[int]] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ build
+
+    def add_node(self, kind: OpKind, operands: Iterable[int] = (),
+                 width: int | None = None, name: str = "",
+                 **attrs: Any) -> Node:
+        """Create a node and add it to the graph.
+
+        Args:
+            kind: opcode of the new node.
+            operands: ids of already-present operand nodes.
+            width: explicit result width; inferred from the operands when
+                omitted (required for ``PARAM``/``CONSTANT``/width-changing ops).
+            name: optional readable name.
+            **attrs: opcode-specific attributes (e.g. ``value`` for constants).
+
+        Returns:
+            The created :class:`Node`.
+
+        Raises:
+            KeyError: if an operand id does not exist in the graph.
+            ValueError: on operand-count or width violations.
+        """
+        operand_ids = tuple(operands)
+        for operand in operand_ids:
+            if operand not in self._nodes:
+                raise KeyError(f"operand node {operand} not in graph {self.name!r}")
+        if width is not None:
+            attrs = dict(attrs)
+            attrs.setdefault("width", width)
+        operand_widths = [self._nodes[o].width for o in operand_ids]
+        resolved_width = width if width is not None else infer_result_width(
+            kind, operand_widths, attrs)
+        # Explicit widths still go through inference for ops that demand a
+        # 'width' attribute, so validate operand counts either way.
+        infer_result_width(kind, operand_widths, {**attrs, "width": resolved_width})
+
+        node = Node(self._next_id, kind, operand_ids, resolved_width, name, dict(attrs))
+        self._nodes[node.node_id] = node
+        self._users[node.node_id] = []
+        for operand in operand_ids:
+            self._users[operand].append(node.node_id)
+        self._next_id += 1
+        return node
+
+    # ----------------------------------------------------------------- access
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def node(self, node_id: int) -> Node:
+        """Return the node with id ``node_id``."""
+        return self._nodes[node_id]
+
+    def nodes(self) -> list[Node]:
+        """All nodes in insertion (id) order."""
+        return [self._nodes[i] for i in sorted(self._nodes)]
+
+    def node_ids(self) -> list[int]:
+        """All node ids in ascending order."""
+        return sorted(self._nodes)
+
+    def operands_of(self, node_id: int) -> tuple[int, ...]:
+        """Ids of the operand nodes of ``node_id`` (with duplicates)."""
+        return self._nodes[node_id].operands
+
+    def users_of(self, node_id: int) -> list[int]:
+        """Ids of the nodes consuming the result of ``node_id``."""
+        return list(self._users[node_id])
+
+    def num_users(self, node_id: int) -> int:
+        """Number of *distinct* consumer nodes of ``node_id``'s result.
+
+        This is the ``num_users`` term of the paper's Eq. 3 (the HLS-IR level
+        fanout of the register holding the value).
+        """
+        return len(set(self._users[node_id]))
+
+    def parameters(self) -> list[Node]:
+        """All primary-input (``PARAM``) nodes."""
+        return [n for n in self.nodes() if n.kind is OpKind.PARAM]
+
+    def outputs(self) -> list[Node]:
+        """Primary outputs: explicit ``OUTPUT`` nodes, else sink nodes."""
+        explicit = [n for n in self.nodes() if n.kind is OpKind.OUTPUT]
+        if explicit:
+            return explicit
+        return [n for n in self.nodes()
+                if not self._users[n.node_id] and not n.is_source]
+
+    def source_ids(self) -> set[int]:
+        """Ids of all source (PARAM / CONSTANT) nodes."""
+        return {n.node_id for n in self.nodes() if n.is_source}
+
+    # ------------------------------------------------------------------ edits
+
+    def set_name(self, node_id: int, name: str) -> None:
+        """Rename a node (affects reports only)."""
+        self._nodes[node_id].name = name
+
+    # -------------------------------------------------------------- interop
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Export to a :class:`networkx.DiGraph` (node attrs: kind, width, name)."""
+        graph = nx.DiGraph(name=self.name)
+        for node in self.nodes():
+            graph.add_node(node.node_id, kind=node.kind, width=node.width,
+                           name=node.name)
+        for node in self.nodes():
+            for operand in node.operands:
+                graph.add_edge(operand, node.node_id)
+        return graph
+
+    def subgraph_nodes(self, node_ids: Iterable[int]) -> list[Node]:
+        """Return the nodes with the given ids, in ascending id order."""
+        wanted = sorted(set(node_ids))
+        return [self._nodes[i] for i in wanted]
+
+    def copy(self, name: str | None = None) -> "DataflowGraph":
+        """Deep-copy the graph (nodes keep their ids)."""
+        clone = DataflowGraph(name or self.name)
+        clone._next_id = self._next_id
+        for node_id, node in self._nodes.items():
+            clone._nodes[node_id] = Node(node.node_id, node.kind, node.operands,
+                                         node.width, node.name, dict(node.attrs))
+        clone._users = {k: list(v) for k, v in self._users.items()}
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DataflowGraph({self.name!r}, {len(self)} nodes)"

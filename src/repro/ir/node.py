@@ -1,0 +1,77 @@
+"""Node and Value objects of the dataflow graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.ir.ops import OpKind
+
+
+@dataclass(frozen=True)
+class Value:
+    """An SSA value produced by a node.
+
+    The paper's Eq. 3 sums over the ``k`` results of a node; in this IR every
+    node produces exactly one result, so a :class:`Value` is identified by the
+    producing node id alone.  Keeping a distinct class (rather than reusing the
+    node id) keeps call sites explicit about whether they talk about the
+    operation or the wire it drives.
+
+    Attributes:
+        node_id: id of the producing node.
+        width: bit width of the value.
+    """
+
+    node_id: int
+    width: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Value(n{self.node_id}:{self.width}b)"
+
+
+@dataclass
+class Node:
+    """A word-level operation in the dataflow graph.
+
+    Attributes:
+        node_id: unique integer id within the graph.
+        kind: the opcode.
+        operands: ids of the nodes whose results feed this node, in operand
+            order.  Duplicates are allowed (e.g. ``add(x, x)``).
+        width: bit width of the (single) result.
+        name: optional human-readable name; auto-generated if empty.
+        attrs: opcode-specific attributes (constant value, slice start,
+            extension width, ...).
+    """
+
+    node_id: int
+    kind: OpKind
+    operands: tuple[int, ...]
+    width: int
+    name: str = ""
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"node {self.name or self.node_id} has width {self.width}")
+        if not self.name:
+            self.name = f"{self.kind.value}_{self.node_id}"
+
+    @property
+    def result(self) -> Value:
+        """The value produced by this node."""
+        return Value(self.node_id, self.width)
+
+    @property
+    def results(self) -> tuple[Value, ...]:
+        """All results of the node (always a single element in this IR)."""
+        return (self.result,)
+
+    @property
+    def is_source(self) -> bool:
+        return self.kind.is_source
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ops = ", ".join(f"n{o}" for o in self.operands)
+        return f"Node(n{self.node_id} = {self.kind.value}({ops}) : {self.width}b)"

@@ -1,0 +1,272 @@
+"""Opcode definitions for the word-level HLS IR.
+
+Each opcode carries a small signature describing how many operands it takes
+and how its result bit width is derived from the operand widths.  The widths
+matter twice in this reproduction: the technology model derives gate-level
+delay/area from them, and the ISDC fanout score (Eq. 3 of the paper) weights
+registers by their bit count.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+
+class OpKind(enum.Enum):
+    """Word-level operation kinds supported by the IR.
+
+    The set mirrors the arithmetic/logic/bit-manipulation subset of the XLS
+    IR that appears in datapath-style designs (the only designs the paper
+    schedules): no control flow, no memory operations.
+    """
+
+    # Sources / sinks.
+    PARAM = "param"          # primary input
+    CONSTANT = "constant"    # literal
+    OUTPUT = "output"        # primary output marker (identity)
+
+    # Arithmetic.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    UDIV = "udiv"
+    UMOD = "umod"
+    NEG = "neg"
+
+    # Bitwise logic.
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    ANDN = "andn"            # a & ~b
+
+    # Reductions.
+    AND_REDUCE = "and_reduce"
+    OR_REDUCE = "or_reduce"
+    XOR_REDUCE = "xor_reduce"
+
+    # Shifts / rotates.
+    SHL = "shl"
+    SHRL = "shrl"            # logical shift right
+    SHRA = "shra"            # arithmetic shift right
+    ROTL = "rotl"
+    ROTR = "rotr"
+
+    # Comparisons (1-bit result).
+    EQ = "eq"
+    NE = "ne"
+    ULT = "ult"
+    ULE = "ule"
+    UGT = "ugt"
+    UGE = "uge"
+    SLT = "slt"
+    SGT = "sgt"
+
+    # Selection / bit manipulation.
+    SEL = "sel"              # sel(cond, on_true, on_false)
+    CONCAT = "concat"
+    BIT_SLICE = "bit_slice"
+    ZERO_EXT = "zero_ext"
+    SIGN_EXT = "sign_ext"
+    IDENTITY = "identity"
+
+    # Wide helpers common in the benchmark datapaths.
+    MULADD = "muladd"        # a * b + c (fused)
+    CLZ = "clz"              # count leading zeros
+    POPCOUNT = "popcount"
+
+    @property
+    def is_source(self) -> bool:
+        """True for nodes with no dataflow operands (graph sources)."""
+        return self in (OpKind.PARAM, OpKind.CONSTANT)
+
+    @property
+    def is_commutative(self) -> bool:
+        return self in _COMMUTATIVE
+
+    @property
+    def is_comparison(self) -> bool:
+        return self in _COMPARISONS
+
+    @property
+    def is_free(self) -> bool:
+        """True for operations that synthesise to pure wiring (zero delay)."""
+        return self in _FREE_OPS
+
+
+_COMMUTATIVE = {
+    OpKind.ADD,
+    OpKind.MUL,
+    OpKind.AND,
+    OpKind.OR,
+    OpKind.XOR,
+    OpKind.EQ,
+    OpKind.NE,
+}
+
+_COMPARISONS = {
+    OpKind.EQ,
+    OpKind.NE,
+    OpKind.ULT,
+    OpKind.ULE,
+    OpKind.UGT,
+    OpKind.UGE,
+    OpKind.SLT,
+    OpKind.SGT,
+}
+
+# Operations that are implemented purely with wires once lowered to gates.
+_FREE_OPS = {
+    OpKind.PARAM,
+    OpKind.CONSTANT,
+    OpKind.OUTPUT,
+    OpKind.CONCAT,
+    OpKind.BIT_SLICE,
+    OpKind.ZERO_EXT,
+    OpKind.SIGN_EXT,
+    OpKind.IDENTITY,
+}
+
+
+@dataclass(frozen=True)
+class OpSignature:
+    """Static signature of an opcode.
+
+    Attributes:
+        kind: the opcode this signature describes.
+        min_operands: minimum number of operands.
+        max_operands: maximum number of operands (``None`` for variadic).
+        result_width: callable mapping operand widths (and node attributes)
+            to the result width.
+    """
+
+    kind: OpKind
+    min_operands: int
+    max_operands: int | None
+    result_width: Callable[[Sequence[int], dict], int]
+
+
+def _same_as_first(widths: Sequence[int], attrs: dict) -> int:
+    return widths[0]
+
+
+def _max_width(widths: Sequence[int], attrs: dict) -> int:
+    return max(widths)
+
+def _one_bit(widths: Sequence[int], attrs: dict) -> int:
+    return 1
+
+
+def _sum_width(widths: Sequence[int], attrs: dict) -> int:
+    return sum(widths)
+
+
+def _attr_width(widths: Sequence[int], attrs: dict) -> int:
+    width = attrs.get("width")
+    if width is None:
+        raise ValueError("node requires an explicit 'width' attribute")
+    return int(width)
+
+
+def _mul_width(widths: Sequence[int], attrs: dict) -> int:
+    # Word-level multiply keeps the max operand width by default (XLS-style
+    # umul with explicit result width can override via the 'width' attribute).
+    explicit = attrs.get("width")
+    if explicit is not None:
+        return int(explicit)
+    return max(widths)
+
+
+def _clog2(value: int) -> int:
+    if value <= 1:
+        return 1
+    return (value - 1).bit_length()
+
+
+def _count_width(widths: Sequence[int], attrs: dict) -> int:
+    return _clog2(widths[0] + 1)
+
+
+_SIGNATURES: dict[OpKind, OpSignature] = {}
+
+
+def _register(kind: OpKind, min_ops: int, max_ops: int | None, width_fn) -> None:
+    _SIGNATURES[kind] = OpSignature(kind, min_ops, max_ops, width_fn)
+
+
+_register(OpKind.PARAM, 0, 0, _attr_width)
+_register(OpKind.CONSTANT, 0, 0, _attr_width)
+_register(OpKind.OUTPUT, 1, 1, _same_as_first)
+
+_register(OpKind.ADD, 2, 2, _max_width)
+_register(OpKind.SUB, 2, 2, _max_width)
+_register(OpKind.MUL, 2, 2, _mul_width)
+_register(OpKind.UDIV, 2, 2, _same_as_first)
+_register(OpKind.UMOD, 2, 2, _same_as_first)
+_register(OpKind.NEG, 1, 1, _same_as_first)
+
+_register(OpKind.AND, 2, None, _max_width)
+_register(OpKind.OR, 2, None, _max_width)
+_register(OpKind.XOR, 2, None, _max_width)
+_register(OpKind.NOT, 1, 1, _same_as_first)
+_register(OpKind.ANDN, 2, 2, _max_width)
+
+_register(OpKind.AND_REDUCE, 1, 1, _one_bit)
+_register(OpKind.OR_REDUCE, 1, 1, _one_bit)
+_register(OpKind.XOR_REDUCE, 1, 1, _one_bit)
+
+_register(OpKind.SHL, 2, 2, _same_as_first)
+_register(OpKind.SHRL, 2, 2, _same_as_first)
+_register(OpKind.SHRA, 2, 2, _same_as_first)
+_register(OpKind.ROTL, 2, 2, _same_as_first)
+_register(OpKind.ROTR, 2, 2, _same_as_first)
+
+for _cmp in (OpKind.EQ, OpKind.NE, OpKind.ULT, OpKind.ULE, OpKind.UGT,
+             OpKind.UGE, OpKind.SLT, OpKind.SGT):
+    _register(_cmp, 2, 2, _one_bit)
+
+_register(OpKind.SEL, 3, 3, lambda widths, attrs: max(widths[1], widths[2]))
+_register(OpKind.CONCAT, 2, None, _sum_width)
+_register(OpKind.BIT_SLICE, 1, 1, _attr_width)
+_register(OpKind.ZERO_EXT, 1, 1, _attr_width)
+_register(OpKind.SIGN_EXT, 1, 1, _attr_width)
+_register(OpKind.IDENTITY, 1, 1, _same_as_first)
+
+_register(OpKind.MULADD, 3, 3, _mul_width)
+_register(OpKind.CLZ, 1, 1, _count_width)
+_register(OpKind.POPCOUNT, 1, 1, _count_width)
+
+
+def signature_of(kind: OpKind) -> OpSignature:
+    """Return the :class:`OpSignature` for ``kind``."""
+    return _SIGNATURES[kind]
+
+
+def infer_result_width(kind: OpKind, operand_widths: Sequence[int],
+                       attrs: dict | None = None) -> int:
+    """Infer the result bit width of ``kind`` applied to ``operand_widths``.
+
+    Args:
+        kind: the opcode.
+        operand_widths: bit widths of the operands, in operand order.
+        attrs: optional node attributes (``width`` for explicit-width ops,
+            slice bounds, constant values, ...).
+
+    Returns:
+        The result bit width.
+
+    Raises:
+        ValueError: if the operand count violates the opcode signature.
+    """
+    attrs = attrs or {}
+    sig = signature_of(kind)
+    count = len(operand_widths)
+    if count < sig.min_operands:
+        raise ValueError(
+            f"{kind.value} needs at least {sig.min_operands} operands, got {count}")
+    if sig.max_operands is not None and count > sig.max_operands:
+        raise ValueError(
+            f"{kind.value} accepts at most {sig.max_operands} operands, got {count}")
+    return sig.result_width(operand_widths, attrs)

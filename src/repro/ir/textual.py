@@ -1,0 +1,90 @@
+"""Human-readable text format for dataflow graphs.
+
+The format is a flat list of SSA assignments, one node per line::
+
+    design my_design
+    n0 = param() : 32  # x
+    n1 = param() : 32  # y
+    n2 = add(n0, n1) : 32
+    n3 = output(n2) : 32  # sum
+
+Attributes are printed as ``key=value`` pairs inside the parentheses after
+the operands, e.g. ``n4 = constant(value=7) : 8``.  The parser accepts
+exactly what the printer emits, which is all the round-trip tests require.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.ir.graph import DataflowGraph
+from repro.ir.ops import OpKind
+
+
+def graph_to_text(graph: DataflowGraph) -> str:
+    """Serialise ``graph`` to the textual format."""
+    lines = [f"design {graph.name}"]
+    for node in graph.nodes():
+        args = [f"n{operand}" for operand in node.operands]
+        for key in sorted(node.attrs):
+            if key == "width":
+                continue
+            args.append(f"{key}={node.attrs[key]}")
+        arg_text = ", ".join(args)
+        line = f"n{node.node_id} = {node.kind.value}({arg_text}) : {node.width}"
+        default_name = f"{node.kind.value}_{node.node_id}"
+        if node.name and node.name != default_name:
+            line += f"  # {node.name}"
+        lines.append(line)
+    return "\n".join(lines) + "\n"
+
+
+_LINE_RE = re.compile(
+    r"^n(?P<id>\d+)\s*=\s*(?P<kind>[a-z_]+)\((?P<args>[^)]*)\)\s*:\s*(?P<width>\d+)"
+    r"(?:\s*#\s*(?P<name>.*))?$")
+
+
+def graph_from_text(text: str) -> DataflowGraph:
+    """Parse the textual format back into a :class:`DataflowGraph`.
+
+    Raises:
+        ValueError: on malformed lines or forward references.
+    """
+    lines = [line.strip() for line in text.strip().splitlines() if line.strip()]
+    if not lines or not lines[0].startswith("design "):
+        raise ValueError("textual IR must start with a 'design <name>' line")
+    graph = DataflowGraph(lines[0].split(None, 1)[1].strip())
+    id_map: dict[int, int] = {}
+
+    for line in lines[1:]:
+        match = _LINE_RE.match(line)
+        if not match:
+            raise ValueError(f"malformed IR line: {line!r}")
+        text_id = int(match.group("id"))
+        kind = OpKind(match.group("kind"))
+        width = int(match.group("width"))
+        name = (match.group("name") or "").strip()
+
+        operands: list[int] = []
+        attrs: dict[str, object] = {}
+        args = match.group("args").strip()
+        if args:
+            for piece in (p.strip() for p in args.split(",")):
+                if "=" in piece:
+                    key, _, raw = piece.partition("=")
+                    raw = raw.strip()
+                    try:
+                        attrs[key.strip()] = int(raw)
+                    except ValueError:
+                        attrs[key.strip()] = raw
+                elif piece.startswith("n"):
+                    ref = int(piece[1:])
+                    if ref not in id_map:
+                        raise ValueError(f"forward reference to n{ref} in: {line!r}")
+                    operands.append(id_map[ref])
+                else:
+                    raise ValueError(f"unrecognised operand {piece!r} in: {line!r}")
+
+        node = graph.add_node(kind, operands, width=width, name=name, **attrs)
+        id_map[text_id] = node.node_id
+    return graph

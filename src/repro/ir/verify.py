@@ -1,0 +1,67 @@
+"""Structural verification of dataflow graphs."""
+
+from __future__ import annotations
+
+from repro.ir.graph import DataflowGraph
+from repro.ir.ops import OpKind, signature_of
+from repro.ir.analysis import topological_order
+
+
+class IRVerificationError(Exception):
+    """Raised when a dataflow graph violates a structural invariant."""
+
+
+def verify_graph(graph: DataflowGraph) -> None:
+    """Check structural invariants of ``graph``.
+
+    Verified properties:
+
+    * the graph is acyclic;
+    * every operand reference resolves to an existing node;
+    * operand counts respect each opcode's signature;
+    * every node has a positive bit width;
+    * constants carry a ``value`` attribute that fits in their width;
+    * bit slices stay within their operand's width.
+
+    Raises:
+        IRVerificationError: describing the first violation found.
+    """
+    try:
+        topological_order(graph)
+    except ValueError as exc:
+        raise IRVerificationError(str(exc)) from exc
+
+    for node in graph.nodes():
+        signature = signature_of(node.kind)
+        count = len(node.operands)
+        if count < signature.min_operands:
+            raise IRVerificationError(
+                f"{graph.name}:{node.name}: {node.kind.value} needs at least "
+                f"{signature.min_operands} operands, has {count}")
+        if signature.max_operands is not None and count > signature.max_operands:
+            raise IRVerificationError(
+                f"{graph.name}:{node.name}: {node.kind.value} accepts at most "
+                f"{signature.max_operands} operands, has {count}")
+        for operand in node.operands:
+            if operand not in graph:
+                raise IRVerificationError(
+                    f"{graph.name}:{node.name}: dangling operand node {operand}")
+        if node.width <= 0:
+            raise IRVerificationError(
+                f"{graph.name}:{node.name}: non-positive width {node.width}")
+        if node.kind is OpKind.CONSTANT:
+            value = node.attrs.get("value")
+            if value is None:
+                raise IRVerificationError(
+                    f"{graph.name}:{node.name}: constant without a value")
+            if value < 0 or value >= (1 << node.width):
+                raise IRVerificationError(
+                    f"{graph.name}:{node.name}: constant {value} does not fit in "
+                    f"{node.width} bits")
+        if node.kind is OpKind.BIT_SLICE:
+            start = int(node.attrs.get("start", 0))
+            operand_width = graph.node(node.operands[0]).width
+            if start < 0 or start + node.width > operand_width:
+                raise IRVerificationError(
+                    f"{graph.name}:{node.name}: slice [{start}, {start + node.width}) "
+                    f"out of range for {operand_width}-bit operand")

@@ -1,0 +1,47 @@
+"""ISDC: subgraph extraction-based feedback-guided iterative SDC scheduling.
+
+This package is the paper's primary contribution:
+
+* :mod:`~repro.isdc.delay_matrix` -- the pairwise critical-path delay matrix
+  ``D[n][n]`` and its feedback update (Alg. 1);
+* :mod:`~repro.isdc.reformulate` -- the O(n^2) delay re-propagation used to
+  rebuild SDC timing constraints each iteration (Alg. 2), plus an O(n^3)
+  Floyd-Warshall-style reference used in the accuracy ablation;
+* :mod:`~repro.isdc.extraction` -- combinational path enumeration from a
+  schedule, delay-driven and fanout-driven ranking (Eq. 3), and expansion of
+  paths to cones and windows;
+* :mod:`~repro.isdc.feedback` -- evaluation of extracted subgraphs through the
+  downstream synthesis flow (with memoisation);
+* :mod:`~repro.isdc.scheduler` -- the iterative loop tying it all together;
+* :mod:`~repro.isdc.config` / :mod:`~repro.isdc.metrics` -- configuration and
+  per-iteration history (register usage, slack, estimation error, runtime).
+"""
+
+from repro.isdc.config import IsdcConfig, ExtractionStrategy, ExpansionStrategy
+from repro.isdc.delay_matrix import DelayMatrix
+from repro.isdc.extraction import (
+    CandidatePath,
+    SubgraphExtractor,
+    enumerate_candidate_paths,
+)
+from repro.isdc.feedback import FeedbackEngine, SubgraphFeedback
+from repro.isdc.metrics import IterationRecord, IsdcResult
+from repro.isdc.reformulate import propagate_delays, floyd_warshall_refine
+from repro.isdc.scheduler import IsdcScheduler
+
+__all__ = [
+    "IsdcConfig",
+    "ExtractionStrategy",
+    "ExpansionStrategy",
+    "DelayMatrix",
+    "CandidatePath",
+    "SubgraphExtractor",
+    "enumerate_candidate_paths",
+    "FeedbackEngine",
+    "SubgraphFeedback",
+    "IterationRecord",
+    "IsdcResult",
+    "propagate_delays",
+    "floyd_warshall_refine",
+    "IsdcScheduler",
+]

@@ -1,0 +1,88 @@
+"""Configuration of the ISDC iterative scheduler."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ExtractionStrategy(enum.Enum):
+    """How candidate paths are ranked before the top-m are extracted.
+
+    ``DELAY`` ranks by estimated critical-path delay (the intuitive baseline
+    the paper argues against); ``FANOUT`` ranks by the paper's Eq. 3 score,
+    which prefers wide registers with few consumers.
+    """
+
+    DELAY = "delay"
+    FANOUT = "fanout"
+
+
+class ExpansionStrategy(enum.Enum):
+    """How a selected path is expanded into the evaluated subgraph.
+
+    ``PATH`` evaluates the nodes on the critical path only; ``CONE`` expands
+    to the root's full in-stage input cone; ``WINDOW`` merges cones of other
+    same-stage roots that share leaves with the selected cone.
+    """
+
+    PATH = "path"
+    CONE = "cone"
+    WINDOW = "window"
+
+
+@dataclass
+class IsdcConfig:
+    """Tunable parameters of the ISDC loop.
+
+    Attributes:
+        clock_period_ps: target clock period.
+        register_overhead_ps: sequential overhead subtracted from the clock
+            period to obtain the combinational timing budget; ``None`` uses
+            the technology library's register figure.
+        subgraphs_per_iteration: how many subgraphs are extracted and sent to
+            the downstream flow per iteration (``m`` in the paper; 4/8/16 are
+            the ablation settings, 16 the Table-I setting).
+        max_iterations: iteration cap (the paper uses 15 for Table I and 30
+            for the ablations).
+        patience: stop once register usage has not improved for this many
+            consecutive iterations.
+        extraction: ranking strategy for candidate paths.
+        expansion: subgraph expansion strategy.
+        use_characterized_delays: characterise isolated operator delays by
+            synthesising single operations (paper-faithful) instead of using
+            the closed-form model.
+        optimize_subgraphs: run the logic optimiser inside the feedback flow.
+        latency_weight: tie-breaking objective weight pulling operations
+            earlier in the LP.
+        track_estimation_error: record per-iteration delay-estimation error
+            (needs one extra stage synthesis per iteration; used by Fig. 7).
+        verbose: print a one-line summary per iteration.
+    """
+
+    clock_period_ps: float = 2500.0
+    register_overhead_ps: float | None = None
+    subgraphs_per_iteration: int = 16
+    max_iterations: int = 15
+    patience: int = 3
+    extraction: ExtractionStrategy = ExtractionStrategy.FANOUT
+    expansion: ExpansionStrategy = ExpansionStrategy.WINDOW
+    use_characterized_delays: bool = True
+    optimize_subgraphs: bool = True
+    latency_weight: float = 1e-3
+    track_estimation_error: bool = True
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.clock_period_ps <= 0:
+            raise ValueError("clock_period_ps must be positive")
+        if self.subgraphs_per_iteration < 1:
+            raise ValueError("subgraphs_per_iteration must be at least 1")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+        if self.patience < 1:
+            raise ValueError("patience must be at least 1")
+        if isinstance(self.extraction, str):
+            self.extraction = ExtractionStrategy(self.extraction)
+        if isinstance(self.expansion, str):
+            self.expansion = ExpansionStrategy(self.expansion)

@@ -1,0 +1,242 @@
+"""Subgraph extraction from a pipeline schedule (paper Section III-B).
+
+Each iteration, ISDC looks at the *previous* schedule and extracts a handful
+of combinational subgraphs to send to the downstream flow:
+
+1. **Candidate paths** run from a node ``vi`` to a node ``vj`` scheduled in
+   the same stage, where ``vj``'s result is registered (it crosses a stage
+   boundary or feeds a primary output).  For every registered ``vj`` the
+   candidate uses the in-stage ancestor ``vi`` with the largest estimated
+   critical-path delay.
+2. **Ranking** is either delay-driven (largest estimated delay first) or
+   fanout-driven (the paper's Eq. 3 score: wide registers with few consumers
+   first, delay as a tie-breaker).
+3. **Expansion** turns the selected path into the evaluated subgraph: the
+   path itself, the root's in-stage input cone, or a window merging cones of
+   same-stage roots that share leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.graph import DataflowGraph
+from repro.isdc.config import ExpansionStrategy, ExtractionStrategy, IsdcConfig
+from repro.isdc.delay_matrix import DelayMatrix
+from repro.sdc.scheduler import Schedule
+
+
+@dataclass(frozen=True)
+class CandidatePath:
+    """One candidate combinational path from the previous schedule.
+
+    Attributes:
+        source: node id of ``vi`` (start of the path).
+        sink: node id of ``vj`` (the registered root).
+        stage: pipeline stage both nodes live in.
+        delay_ps: estimated critical-path delay ``D(ccp(vi, vj))``.
+        score: ranking score (depends on the extraction strategy).
+        path_nodes: nodes on the critical path, source to sink.
+    """
+
+    source: int
+    sink: int
+    stage: int
+    delay_ps: float
+    score: float
+    path_nodes: tuple[int, ...]
+
+
+def registered_nodes(schedule: Schedule) -> list[int]:
+    """Nodes whose result is stored in a pipeline register.
+
+    A node's result is registered when at least one consumer is scheduled in
+    a later stage, or when the node has no consumers at all (it feeds a
+    primary output of the pipeline).  Source nodes never hold registers.
+    """
+    graph = schedule.graph
+    result: list[int] = []
+    for node in graph.nodes():
+        if node.is_source:
+            continue
+        users = graph.users_of(node.node_id)
+        stage = schedule.stage_of(node.node_id)
+        if not users or any(schedule.stage_of(u) > stage for u in users):
+            result.append(node.node_id)
+    return result
+
+
+def in_stage_ancestors(schedule: Schedule, root: int) -> set[int]:
+    """Non-source ancestors of ``root`` scheduled in the same stage (root included)."""
+    graph = schedule.graph
+    stage = schedule.stage_of(root)
+    cone: set[int] = {root}
+    stack = [root]
+    while stack:
+        current = stack.pop()
+        for operand in graph.operands_of(current):
+            if operand in cone:
+                continue
+            operand_node = graph.node(operand)
+            if operand_node.is_source or schedule.stage_of(operand) != stage:
+                continue
+            cone.add(operand)
+            stack.append(operand)
+    return cone
+
+
+def cone_leaves(graph: DataflowGraph, cone: set[int]) -> frozenset[int]:
+    """Boundary nodes feeding a cone: operands of cone members outside the cone."""
+    leaves: set[int] = set()
+    for node_id in cone:
+        for operand in graph.operands_of(node_id):
+            if operand not in cone:
+                leaves.add(operand)
+    return frozenset(leaves)
+
+
+def critical_in_stage_path(schedule: Schedule, delay_matrix: DelayMatrix,
+                           source: int, sink: int) -> tuple[int, ...]:
+    """One maximum-delay path from ``source`` to ``sink`` within their stage.
+
+    Uses the individual delays from the matrix diagonal for the longest-path
+    computation (the per-segment feedback delays do not decompose onto single
+    nodes, so individual delays are the consistent choice here).
+    """
+    graph = schedule.graph
+    stage = schedule.stage_of(sink)
+    cone = in_stage_ancestors(schedule, sink)
+    if source not in cone:
+        return (sink,)
+    best: dict[int, float] = {source: delay_matrix.individual_delay(source)}
+    parent: dict[int, int] = {}
+    # The cone is small; a simple repeated relaxation in node-id order over
+    # the DAG restricted to the cone is sufficient and always terminates.
+    from repro.ir.analysis import topological_order
+
+    for node_id in topological_order(graph):
+        if node_id not in cone or node_id not in best:
+            continue
+        for user in set(graph.users_of(node_id)):
+            if user not in cone or schedule.stage_of(user) != stage:
+                continue
+            candidate = best[node_id] + delay_matrix.individual_delay(user)
+            if candidate > best.get(user, float("-inf")):
+                best[user] = candidate
+                parent[user] = node_id
+    if sink not in best:
+        return (sink,)
+    path = [sink]
+    while path[-1] != source:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return tuple(path)
+
+
+def fanout_score(graph: DataflowGraph, sink: int, delay_ps: float,
+                 clock_period_ps: float) -> float:
+    """The paper's Eq. 3 fanout-driven score for a candidate path.
+
+    ``(bit_count(r(vj)) + D(ccp)/Tclk) / (num_users(r(vj)) + 1)`` -- wide
+    registers with few consumers score highest; the delay ratio (kept below
+    1.0, as any valid schedule guarantees) only breaks ties.
+    """
+    node = graph.node(sink)
+    ratio = min(delay_ps / clock_period_ps, 0.999) if clock_period_ps > 0 else 0.0
+    return (node.width + ratio) / (graph.num_users(sink) + 1)
+
+
+def enumerate_candidate_paths(schedule: Schedule, delay_matrix: DelayMatrix,
+                              strategy: ExtractionStrategy,
+                              clock_period_ps: float) -> list[CandidatePath]:
+    """All candidate paths of a schedule, scored but not yet truncated.
+
+    One candidate is produced per registered node: the in-stage path ending
+    at it with the largest estimated delay.  A registered node that is alone
+    in its stage still yields a (single-node) candidate -- measuring it
+    removes the characterisation guard band on that operation, which is often
+    what unlocks merging it with a neighbouring stage.
+    """
+    graph = schedule.graph
+    candidates: list[CandidatePath] = []
+    for sink in registered_nodes(schedule):
+        cone = in_stage_ancestors(schedule, sink)
+        sources = [nid for nid in cone if nid != sink]
+        if sources:
+            best_source = max(
+                sources,
+                key=lambda nid: (delay_matrix.get(nid, sink)
+                                 if delay_matrix.is_connected(nid, sink) else 0.0))
+        else:
+            best_source = sink
+        delay = delay_matrix.get(best_source, sink)
+        if delay <= 0:
+            continue
+        if strategy is ExtractionStrategy.FANOUT:
+            score = fanout_score(graph, sink, delay, clock_period_ps)
+        else:
+            score = delay
+        path = critical_in_stage_path(schedule, delay_matrix, best_source, sink)
+        candidates.append(CandidatePath(
+            source=best_source, sink=sink, stage=schedule.stage_of(sink),
+            delay_ps=delay, score=score, path_nodes=path))
+    candidates.sort(key=lambda c: (-c.score, c.sink))
+    return candidates
+
+
+class SubgraphExtractor:
+    """Extracts the per-iteration set of subgraphs to evaluate.
+
+    Args:
+        config: the ISDC configuration (strategies and the per-iteration
+            subgraph budget ``m``).
+    """
+
+    def __init__(self, config: IsdcConfig) -> None:
+        self.config = config
+
+    def expand(self, schedule: Schedule, candidate: CandidatePath) -> frozenset[int]:
+        """Expand one candidate path into the node set to synthesise."""
+        expansion = self.config.expansion
+        if expansion is ExpansionStrategy.PATH:
+            return frozenset(candidate.path_nodes)
+        cone = in_stage_ancestors(schedule, candidate.sink)
+        if expansion is ExpansionStrategy.CONE:
+            return frozenset(cone)
+        return self._expand_window(schedule, candidate, cone)
+
+    def _expand_window(self, schedule: Schedule, candidate: CandidatePath,
+                       cone: set[int]) -> frozenset[int]:
+        """Merge cones of same-stage registered roots that share leaves."""
+        graph = schedule.graph
+        leaves = cone_leaves(graph, cone)
+        window = set(cone)
+        if not leaves:
+            return frozenset(window)
+        for other_root in registered_nodes(schedule):
+            if other_root == candidate.sink:
+                continue
+            if schedule.stage_of(other_root) != candidate.stage:
+                continue
+            other_cone = in_stage_ancestors(schedule, other_root)
+            if leaves & cone_leaves(graph, other_cone):
+                window.update(other_cone)
+        return frozenset(window)
+
+    def extract(self, schedule: Schedule, delay_matrix: DelayMatrix
+                ) -> list[tuple[CandidatePath, frozenset[int]]]:
+        """Top-m candidates of the schedule, expanded and de-duplicated."""
+        candidates = enumerate_candidate_paths(
+            schedule, delay_matrix, self.config.extraction,
+            self.config.clock_period_ps)
+        selected: list[tuple[CandidatePath, frozenset[int]]] = []
+        seen: set[frozenset[int]] = set()
+        for candidate in candidates:
+            if len(selected) >= self.config.subgraphs_per_iteration:
+                break
+            node_set = self.expand(schedule, candidate)
+            if not node_set or node_set in seen:
+                continue
+            seen.add(node_set)
+            selected.append((candidate, node_set))
+        return selected

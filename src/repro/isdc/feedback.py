@@ -1,0 +1,74 @@
+"""Downstream evaluation of extracted subgraphs (the feedback half of the loop)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.graph import DataflowGraph
+from repro.isdc.extraction import CandidatePath
+from repro.synth.cache import EvaluationCache
+from repro.synth.flow import SynthesisFlow
+from repro.tech.library import TechLibrary
+
+
+@dataclass(frozen=True)
+class SubgraphFeedback:
+    """Measured delay of one evaluated subgraph.
+
+    Attributes:
+        candidate: the candidate path the subgraph was grown from.
+        node_ids: IR nodes covered by the subgraph.
+        delay_ps: post-synthesis critical-path delay reported by the flow.
+        estimated_delay_ps: the scheduler's estimate before feedback (the
+            candidate's matrix entry), for reporting estimation error.
+        num_gates: logic-gate count of the synthesised subgraph.
+    """
+
+    candidate: CandidatePath
+    node_ids: frozenset[int]
+    delay_ps: float
+    estimated_delay_ps: float
+    num_gates: int
+
+
+class FeedbackEngine:
+    """Runs extracted subgraphs through the downstream flow, with memoisation.
+
+    In the paper this corresponds to dispatching subgraphs to Yosys/OpenSTA in
+    parallel; here the flow is a local simulator, so "dispatch" is a cached
+    function call.
+
+    Args:
+        library: technology library for the downstream flow.
+        optimize: run the logic optimiser inside the flow.
+    """
+
+    def __init__(self, library: TechLibrary | None = None, optimize: bool = True) -> None:
+        flow = SynthesisFlow(library, optimize=optimize)
+        self.cache = EvaluationCache(flow)
+
+    def evaluate(self, graph: DataflowGraph,
+                 subgraphs: list[tuple[CandidatePath, frozenset[int]]]
+                 ) -> list[SubgraphFeedback]:
+        """Evaluate a batch of subgraphs and return their feedback records."""
+        feedback: list[SubgraphFeedback] = []
+        for candidate, node_ids in subgraphs:
+            report = self.cache.evaluate(graph, node_ids)
+            feedback.append(SubgraphFeedback(
+                candidate=candidate,
+                node_ids=node_ids,
+                delay_ps=report.delay_ps,
+                estimated_delay_ps=candidate.delay_ps,
+                num_gates=report.num_gates,
+            ))
+        return feedback
+
+    @property
+    def evaluations(self) -> int:
+        """Number of distinct subgraphs synthesised so far."""
+        return self.cache.stats.misses
+
+    @property
+    def cache_hits(self) -> int:
+        """Number of evaluations answered from the cache."""
+        return self.cache.stats.hits

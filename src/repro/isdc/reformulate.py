@@ -1,0 +1,129 @@
+"""Delay re-propagation for SDC reformulation (paper Algorithm 2).
+
+After feedback lowers individual entries of the delay matrix, the estimates
+of longer paths that *contain* the measured subgraphs are still the old,
+over-conservative sums.  Algorithm 2 re-derives all pairwise estimates in
+O(n^2) amortised work per node: a topological sweep recomputes the delay from
+every node to ``v`` through ``v``'s operands (taking the worst operand, as a
+critical path must), followed by a reverse sweep that propagates through
+users to catch complementary paths.  Entries are only ever *lowered* --
+pruning over-conservative timing constraints is the whole point.
+
+:func:`floyd_warshall_refine` is the O(n^3) alternative the paper mentions:
+it relaxes every pair through every single intermediate node.  It can lower
+estimates more aggressively (and occasionally too aggressively, since a
+single intermediate does not dominate all parallel paths); the reformulation
+accuracy benchmark compares both against post-synthesis ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.analysis import reverse_topological_order, topological_order
+from repro.isdc.delay_matrix import DelayMatrix
+from repro.sdc.delays import NOT_CONNECTED
+
+
+def _lower_entries(matrix: np.ndarray, column: int, candidates: np.ndarray) -> int:
+    """Lower ``matrix[:, column]`` to ``candidates`` where justified.
+
+    An entry is overwritten when the candidate is valid (connected) and either
+    the current entry is larger or the pair was previously marked unconnected.
+
+    Returns:
+        Number of entries changed.
+    """
+    current = matrix[:, column]
+    valid = candidates != NOT_CONNECTED
+    improve = valid & ((current > candidates) | (current == NOT_CONNECTED))
+    count = int(improve.sum())
+    if count:
+        current[improve] = candidates[improve]
+        matrix[:, column] = current
+    return count
+
+
+def propagate_delays(delay_matrix: DelayMatrix) -> int:
+    """Re-propagate pairwise delays after feedback updates (Alg. 2 lines 1--16).
+
+    The matrix is modified in place.
+
+    Returns:
+        The total number of matrix entries that were lowered.
+    """
+    graph = delay_matrix.graph
+    matrix = delay_matrix.matrix
+    index_of = delay_matrix.index_of
+    changed = 0
+
+    # Forward sweep: recompute the delay from every node u to v through v's
+    # operands, using the (possibly feedback-lowered) delays to the operands.
+    for node_id in topological_order(graph):
+        column = index_of[node_id]
+        own_delay = matrix[column, column]
+        operand_columns = sorted({index_of[o] for o in graph.operands_of(node_id)})
+        if not operand_columns:
+            continue
+        incoming = matrix[:, operand_columns]
+        connected = incoming != NOT_CONNECTED
+        candidates = np.where(connected, incoming + own_delay, NOT_CONNECTED)
+        best = candidates.max(axis=1)
+        best[column] = NOT_CONNECTED  # never touch the diagonal here
+        changed += _lower_entries(matrix, column, best)
+
+    # Reverse sweep: propagate through users to catch the complementary
+    # direction (delays from u forward into each of its users' cones).
+    for node_id in reverse_topological_order(graph):
+        row = index_of[node_id]
+        own_delay = matrix[row, row]
+        user_rows = sorted({index_of[u] for u in graph.users_of(node_id)})
+        if not user_rows:
+            continue
+        outgoing = matrix[user_rows, :]
+        connected = outgoing != NOT_CONNECTED
+        candidates = np.where(connected, outgoing + own_delay, NOT_CONNECTED)
+        best = candidates.max(axis=0)
+        best[row] = NOT_CONNECTED
+        current = matrix[row, :]
+        valid = best != NOT_CONNECTED
+        improve = valid & ((current > best) | (current == NOT_CONNECTED))
+        count = int(improve.sum())
+        if count:
+            current[improve] = best[improve]
+            matrix[row, :] = current
+            changed += count
+
+    return changed
+
+
+def floyd_warshall_refine(delay_matrix: DelayMatrix) -> int:
+    """O(n^3) refinement relaxing every pair through every intermediate node.
+
+    For every intermediate ``w``, the delay of a path from ``u`` to ``v``
+    through ``w`` is bounded by ``D[u][w] + D[w][v] - d(w)`` (``w``'s own
+    delay would otherwise be counted twice).  Entries are lowered to that
+    bound where it is smaller.  The matrix is modified in place.
+
+    Returns:
+        The total number of matrix entries that were lowered.
+    """
+    matrix = delay_matrix.matrix
+    size = matrix.shape[0]
+    changed = 0
+    diagonal = matrix.diagonal().copy()
+    for w in range(size):
+        to_w = matrix[:, w]
+        from_w = matrix[w, :]
+        valid = (to_w[:, None] != NOT_CONNECTED) & (from_w[None, :] != NOT_CONNECTED)
+        if not valid.any():
+            continue
+        candidates = to_w[:, None] + from_w[None, :] - diagonal[w]
+        current = matrix
+        improve = valid & (current > candidates) & (current != NOT_CONNECTED)
+        np.fill_diagonal(improve, False)
+        count = int(improve.sum())
+        if count:
+            matrix[improve] = candidates[improve]
+            changed += count
+    return changed

@@ -1,0 +1,216 @@
+"""The ISDC iterative scheduling loop (paper Section III-A, Fig. 2)."""
+
+from __future__ import annotations
+
+import time
+
+from repro.ir.graph import DataflowGraph
+from repro.isdc.config import IsdcConfig
+from repro.isdc.delay_matrix import DelayMatrix
+from repro.isdc.extraction import SubgraphExtractor
+from repro.isdc.feedback import FeedbackEngine
+from repro.isdc.metrics import IsdcResult, IterationRecord
+from repro.isdc.reformulate import propagate_delays
+from repro.sdc.constraints import ConstraintSystem
+from repro.sdc.pipeline import PipelineAnalyzer, count_pipeline_registers
+from repro.sdc.scheduler import (
+    Schedule,
+    SdcScheduler,
+    add_dependency_constraints,
+    add_timing_constraints,
+    register_weights,
+    users_map,
+)
+from repro.sdc.solver import solve_lp
+from repro.synth.estimator import CharacterizedOperatorModel
+from repro.tech.delay_model import OperatorModel
+from repro.tech.library import TechLibrary
+from repro.tech.sky130 import sky130_library
+
+
+class IsdcScheduler:
+    """Feedback-guided iterative SDC scheduler.
+
+    The loop mirrors the paper's Fig. 2: schedule with plain SDC, extract
+    combinational subgraphs from the schedule, measure their post-synthesis
+    delays, fold the measurements into the pairwise delay matrix (Alg. 1),
+    re-propagate the matrix (Alg. 2), rebuild the timing constraints, re-solve
+    the LP, and repeat until register usage stops improving.
+
+    Args:
+        config: loop configuration; a default :class:`IsdcConfig` is used
+            when omitted.
+        library: technology library shared by the delay model, the feedback
+            flow and the pipeline analyser.
+        delay_model: override the isolated-operation delay model (mostly for
+            tests); by default a characterised or closed-form model is chosen
+            according to ``config.use_characterized_delays``.
+    """
+
+    def __init__(self, config: IsdcConfig | None = None,
+                 library: TechLibrary | None = None,
+                 delay_model=None) -> None:
+        self.config = config or IsdcConfig()
+        self.library = library or sky130_library()
+        if delay_model is not None:
+            self.delay_model = delay_model
+        elif self.config.use_characterized_delays:
+            self.delay_model = CharacterizedOperatorModel(self.library)
+        else:
+            self.delay_model = OperatorModel(self.library)
+        if self.config.register_overhead_ps is None:
+            self.register_overhead_ps = self.library.register_delay_ps
+        else:
+            self.register_overhead_ps = float(self.config.register_overhead_ps)
+        self.timing_budget_ps = self.config.clock_period_ps - self.register_overhead_ps
+        if self.timing_budget_ps <= 0:
+            raise ValueError("clock period does not cover the register overhead")
+        self.extractor = SubgraphExtractor(self.config)
+        self.feedback = FeedbackEngine(self.library,
+                                       optimize=self.config.optimize_subgraphs)
+        self.analyzer = PipelineAnalyzer(flow=self.feedback.cache.flow,
+                                         library=self.library)
+
+    # ------------------------------------------------------------------ public
+
+    def schedule(self, graph: DataflowGraph) -> IsdcResult:
+        """Run the full ISDC loop on ``graph`` and return the result bundle."""
+        config = self.config
+        total_start = time.perf_counter()
+
+        baseline = SdcScheduler(delay_model=self.delay_model,
+                                clock_period_ps=config.clock_period_ps,
+                                register_overhead_ps=self.register_overhead_ps,
+                                latency_weight=config.latency_weight)
+        base_result = baseline.schedule(graph)
+        baseline_runtime = base_result.runtime_s
+
+        delay_matrix = DelayMatrix(graph, base_result.delay_matrix.copy(),
+                                   dict(base_result.index_of))
+        naive_matrix = DelayMatrix(graph, base_result.delay_matrix.copy(),
+                                   dict(base_result.index_of))
+
+        current = base_result.schedule
+        current_registers, _ = count_pipeline_registers(current)
+        history: list[IterationRecord] = [IterationRecord(
+            iteration=0,
+            num_stages=current.num_stages,
+            num_registers=current_registers,
+            estimation_error=self._estimation_error(current, delay_matrix),
+            runtime_s=baseline_runtime,
+        )]
+        self._log(history[-1])
+
+        best_schedule = current
+        best_registers = current_registers
+        iterations_run = 0
+        stale_iterations = 0
+
+        for iteration in range(1, config.max_iterations + 1):
+            iteration_start = time.perf_counter()
+            subgraphs = self.extractor.extract(current, delay_matrix)
+            if not subgraphs:
+                break
+            feedback = self.feedback.evaluate(graph, subgraphs)
+            updates = delay_matrix.update_with_feedback(
+                (item.node_ids, item.delay_ps) for item in feedback)
+            updates += propagate_delays(delay_matrix)
+
+            current = self._reschedule(graph, delay_matrix)
+            current_registers, _ = count_pipeline_registers(current)
+            iterations_run = iteration
+
+            record = IterationRecord(
+                iteration=iteration,
+                num_stages=current.num_stages,
+                num_registers=current_registers,
+                subgraphs_evaluated=len(feedback),
+                matrix_updates=updates,
+                estimation_error=self._estimation_error(current, delay_matrix),
+                naive_estimation_error=self._estimation_error(current, naive_matrix),
+                runtime_s=time.perf_counter() - iteration_start,
+            )
+            history.append(record)
+            self._log(record)
+
+            if current_registers < best_registers:
+                best_registers = current_registers
+                best_schedule = current
+                stale_iterations = 0
+            else:
+                stale_iterations += 1
+            if stale_iterations >= config.patience:
+                break
+
+        total_runtime = time.perf_counter() - total_start
+        initial_report = self.analyzer.report(base_result.schedule)
+        final_report = self.analyzer.report(best_schedule)
+        return IsdcResult(
+            design=graph.name,
+            initial_schedule=base_result.schedule,
+            final_schedule=best_schedule,
+            initial_report=initial_report,
+            final_report=final_report,
+            history=history,
+            iterations=iterations_run,
+            total_runtime_s=total_runtime,
+            baseline_runtime_s=baseline_runtime,
+            subgraphs_evaluated=self.feedback.evaluations,
+        )
+
+    # ----------------------------------------------------------------- helpers
+
+    def _reschedule(self, graph: DataflowGraph, delay_matrix: DelayMatrix
+                    ) -> Schedule:
+        """Rebuild the SDC problem from the updated matrix and re-solve it."""
+        system = ConstraintSystem()
+        add_dependency_constraints(system, graph)
+        for node in graph.nodes():
+            if node.is_source:
+                system.pin(node.node_id, 0)
+        add_timing_constraints(system, delay_matrix.matrix, delay_matrix.index_of,
+                               self.timing_budget_ps)
+        solution = solve_lp(system, register_weights(graph), users_map(graph),
+                            latency_weight=self.config.latency_weight)
+        return Schedule(graph=graph, clock_period_ps=self.config.clock_period_ps,
+                        stages=solution)
+
+    def _estimation_error(self, schedule: Schedule, delay_matrix: DelayMatrix
+                          ) -> float | None:
+        """Mean relative stage-delay estimation error against synthesis."""
+        if not self.config.track_estimation_error:
+            return None
+        graph = schedule.graph
+        errors: list[float] = []
+        for stage, node_ids in schedule.stage_node_map().items():
+            operations = [nid for nid in node_ids if not graph.node(nid).is_source]
+            if not operations:
+                continue
+            estimated = self._estimated_stage_delay(delay_matrix, operations)
+            actual = self.feedback.cache.evaluate(
+                graph, operations, name=f"{graph.name}_stage{stage}").delay_ps
+            if actual <= 0:
+                continue
+            errors.append(abs(estimated - actual) / actual)
+        if not errors:
+            return None
+        return sum(errors) / len(errors)
+
+    @staticmethod
+    def _estimated_stage_delay(delay_matrix: DelayMatrix,
+                               node_ids: list[int]) -> float:
+        """The scheduler's estimate of a stage's critical combinational delay."""
+        import numpy as np
+
+        indices = [delay_matrix.index_of[nid] for nid in node_ids]
+        block = delay_matrix.matrix[np.ix_(indices, indices)]
+        return float(block.max()) if block.size else 0.0
+
+    def _log(self, record: IterationRecord) -> None:
+        if not self.config.verbose:
+            return
+        error = ("n/a" if record.estimation_error is None
+                 else f"{record.estimation_error:.1%}")
+        print(f"[isdc] iter {record.iteration:2d}: stages={record.num_stages:3d} "
+              f"registers={record.num_registers:6d} "
+              f"subgraphs={record.subgraphs_evaluated:2d} error={error}")

@@ -1,0 +1,469 @@
+"""Lowering of word-level IR operations to gate-level netlists.
+
+The lowering chooses straightforward, well-known micro-architectures:
+
+* additions/subtractions: ripple-carry chains (MAJ3 carry, XOR2 sum);
+* multiplications: AND partial products accumulated with ripple-carry rows;
+* variable shifts/rotates: logarithmic barrel shifters (MUX2 stages);
+* constant shifts, slices, extensions, concatenations: pure wiring;
+* comparisons: borrow chains;
+* multi-operand logic and reductions: *linear* gate chains -- deliberately
+  left unbalanced so the logic optimiser has realistic restructuring work,
+  exactly the kind of inter-operation optimisation the paper's feedback loop
+  is designed to observe.
+
+Bit vectors are represented as Python lists of gate ids, least-significant
+bit first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.ir.graph import DataflowGraph
+from repro.ir.node import Node
+from repro.ir.ops import OpKind
+from repro.netlist.gates import GateKind
+from repro.netlist.netlist import Netlist
+
+Bits = list[int]
+
+
+@dataclass
+class LoweringResult:
+    """Outcome of lowering a (sub)graph.
+
+    Attributes:
+        netlist: the generated gate-level netlist.
+        input_bits: for every IR node treated as a boundary input of the
+            lowered region, the primary-input gate ids of its bits.
+        node_bits: for every lowered IR node, the gate ids of its result bits.
+        output_bits: bits of the IR nodes marked as netlist outputs.
+    """
+
+    netlist: Netlist
+    input_bits: dict[int, Bits] = field(default_factory=dict)
+    node_bits: dict[int, Bits] = field(default_factory=dict)
+    output_bits: dict[int, Bits] = field(default_factory=dict)
+
+
+class _Lowerer:
+    """Stateful helper performing one lowering run."""
+
+    def __init__(self, graph: DataflowGraph, name: str) -> None:
+        self.graph = graph
+        self.netlist = Netlist(name)
+        self.bits: dict[int, Bits] = {}
+        self.input_bits: dict[int, Bits] = {}
+        self._const0: int | None = None
+        self._const1: int | None = None
+
+    # --------------------------------------------------------------- helpers
+
+    def const_bit(self, value: int) -> int:
+        """Shared tie-0 / tie-1 gate."""
+        if value:
+            if self._const1 is None:
+                self._const1 = self.netlist.add_constant(1, "tie1")
+            return self._const1
+        if self._const0 is None:
+            self._const0 = self.netlist.add_constant(0, "tie0")
+        return self._const0
+
+    def gate(self, kind: GateKind, *inputs: int) -> int:
+        return self.netlist.add_gate(kind, inputs)
+
+    def zext(self, bits: Bits, width: int) -> Bits:
+        """Zero-extend (or truncate) ``bits`` to ``width``."""
+        if len(bits) >= width:
+            return bits[:width]
+        return bits + [self.const_bit(0)] * (width - len(bits))
+
+    def sext(self, bits: Bits, width: int) -> Bits:
+        """Sign-extend (or truncate) ``bits`` to ``width``."""
+        if len(bits) >= width:
+            return bits[:width]
+        sign = bits[-1] if bits else self.const_bit(0)
+        return bits + [sign] * (width - len(bits))
+
+    # ----------------------------------------------------------- arithmetic
+
+    def full_adder(self, a: int, b: int, carry_in: int) -> tuple[int, int]:
+        """Return (sum, carry_out) of a full adder."""
+        axb = self.gate(GateKind.XOR2, a, b)
+        total = self.gate(GateKind.XOR2, axb, carry_in)
+        carry = self.gate(GateKind.MAJ3, a, b, carry_in)
+        return total, carry
+
+    def ripple_add(self, a: Bits, b: Bits, carry_in: int | None = None,
+                   width: int | None = None) -> tuple[Bits, int]:
+        """Ripple-carry addition; returns (sum bits, carry out)."""
+        width = width or max(len(a), len(b))
+        a = self.zext(a, width)
+        b = self.zext(b, width)
+        carry = carry_in if carry_in is not None else self.const_bit(0)
+        result: Bits = []
+        for bit_a, bit_b in zip(a, b):
+            total, carry = self.full_adder(bit_a, bit_b, carry)
+            result.append(total)
+        return result, carry
+
+    def ripple_sub(self, a: Bits, b: Bits, width: int | None = None
+                   ) -> tuple[Bits, int]:
+        """a - b via two's complement; returns (difference, carry out).
+
+        A carry out of 1 means no borrow occurred (a >= b, unsigned).
+        """
+        width = width or max(len(a), len(b))
+        a = self.zext(a, width)
+        b = self.zext(b, width)
+        inverted = [self.gate(GateKind.INV, bit) for bit in b]
+        return self.ripple_add(a, inverted, carry_in=self.const_bit(1), width=width)
+
+    def multiply(self, a: Bits, b: Bits, width: int) -> Bits:
+        """Shift-and-add array multiplier truncated to ``width`` bits."""
+        accumulator = [self.const_bit(0)] * width
+        for shift, b_bit in enumerate(b):
+            if shift >= width:
+                break
+            partial = [self.const_bit(0)] * shift
+            for a_bit in a[:width - shift]:
+                partial.append(self.gate(GateKind.AND2, a_bit, b_bit))
+            partial = self.zext(partial, width)
+            accumulator, _ = self.ripple_add(accumulator, partial, width=width)
+        return accumulator
+
+    def divide(self, dividend: Bits, divisor: Bits, width: int
+               ) -> tuple[Bits, Bits]:
+        """Restoring array division; returns (quotient, remainder)."""
+        remainder: Bits = [self.const_bit(0)] * width
+        quotient: Bits = [self.const_bit(0)] * width
+        divisor = self.zext(divisor, width)
+        for index in range(width - 1, -1, -1):
+            shifted = [dividend[index]] + remainder[:-1]
+            difference, no_borrow = self.ripple_sub(shifted, divisor, width=width)
+            remainder = [self.gate(GateKind.MUX2, no_borrow, diff, keep)
+                         for diff, keep in zip(difference, shifted)]
+            quotient[index] = no_borrow
+        return quotient, remainder
+
+    # --------------------------------------------------------------- shifts
+
+    def barrel_shift(self, value: Bits, amount: Bits, kind: OpKind,
+                     width: int) -> Bits:
+        """Logarithmic barrel shifter for variable shift amounts."""
+        current = self.zext(value, width)
+        sign = value[-1] if value else self.const_bit(0)
+        max_stage = max(1, (width - 1).bit_length())
+        for stage, amount_bit in enumerate(amount[:max_stage]):
+            offset = 1 << stage
+            shifted: Bits = []
+            for i in range(width):
+                if kind is OpKind.SHL:
+                    src = current[i - offset] if i - offset >= 0 else self.const_bit(0)
+                elif kind is OpKind.SHRL:
+                    src = current[i + offset] if i + offset < width else self.const_bit(0)
+                elif kind is OpKind.SHRA:
+                    src = current[i + offset] if i + offset < width else sign
+                elif kind is OpKind.ROTL:
+                    src = current[(i - offset) % width]
+                else:  # ROTR
+                    src = current[(i + offset) % width]
+                shifted.append(src)
+            current = [self.gate(GateKind.MUX2, amount_bit, s, c)
+                       for s, c in zip(shifted, current)]
+        return current
+
+    def constant_shift(self, value: Bits, amount: int, kind: OpKind,
+                       width: int) -> Bits:
+        """Shift/rotate by a compile-time constant (pure wiring)."""
+        current = self.zext(value, width)
+        sign = value[-1] if value else self.const_bit(0)
+        amount = amount % width if kind in (OpKind.ROTL, OpKind.ROTR) else min(amount, width)
+        result: Bits = []
+        for i in range(width):
+            if kind is OpKind.SHL:
+                result.append(current[i - amount] if i - amount >= 0 else self.const_bit(0))
+            elif kind is OpKind.SHRL:
+                result.append(current[i + amount] if i + amount < width else self.const_bit(0))
+            elif kind is OpKind.SHRA:
+                result.append(current[i + amount] if i + amount < width else sign)
+            elif kind is OpKind.ROTL:
+                result.append(current[(i - amount) % width])
+            else:  # ROTR
+                result.append(current[(i + amount) % width])
+        return result
+
+    # ---------------------------------------------------------- comparisons
+
+    def reduce_chain(self, kind: GateKind, bits: Bits) -> int:
+        """Linear reduction chain (left for the optimiser to balance)."""
+        if not bits:
+            return self.const_bit(0)
+        result = bits[0]
+        for bit in bits[1:]:
+            result = self.gate(kind, result, bit)
+        return result
+
+    def equality(self, a: Bits, b: Bits, negate: bool) -> int:
+        width = max(len(a), len(b))
+        a = self.zext(a, width)
+        b = self.zext(b, width)
+        diffs = [self.gate(GateKind.XOR2, x, y) for x, y in zip(a, b)]
+        any_diff = self.reduce_chain(GateKind.OR2, diffs)
+        return any_diff if negate else self.gate(GateKind.INV, any_diff)
+
+    def unsigned_less(self, a: Bits, b: Bits) -> int:
+        """a < b (unsigned): borrow out of a - b."""
+        _, no_borrow = self.ripple_sub(a, b, width=max(len(a), len(b)))
+        return self.gate(GateKind.INV, no_borrow)
+
+    def signed_less(self, a: Bits, b: Bits) -> int:
+        """a < b (signed): flip the sign bits and compare unsigned."""
+        width = max(len(a), len(b))
+        a = self.sext(a, width)
+        b = self.sext(b, width)
+        a_flipped = a[:-1] + [self.gate(GateKind.INV, a[-1])]
+        b_flipped = b[:-1] + [self.gate(GateKind.INV, b[-1])]
+        return self.unsigned_less(a_flipped, b_flipped)
+
+    # --------------------------------------------------------- node dispatch
+
+    def lower_node(self, node: Node) -> Bits:
+        """Lower one IR node given its operands are already lowered."""
+        kind = node.kind
+        width = node.width
+        operands = [self.bits[o] for o in node.operands]
+
+        if kind is OpKind.CONSTANT:
+            value = int(node.attrs["value"])
+            return [self.const_bit((value >> i) & 1) for i in range(width)]
+        if kind in (OpKind.OUTPUT, OpKind.IDENTITY):
+            return self.zext(operands[0], width)
+        if kind is OpKind.ZERO_EXT:
+            return self.zext(operands[0], width)
+        if kind is OpKind.SIGN_EXT:
+            return self.sext(operands[0], width)
+        if kind is OpKind.BIT_SLICE:
+            start = int(node.attrs.get("start", 0))
+            return self.zext(operands[0][start:start + width], width)
+        if kind is OpKind.CONCAT:
+            bits: Bits = []
+            for operand_bits in reversed(operands):
+                bits.extend(operand_bits)
+            return self.zext(bits, width)
+
+        if kind is OpKind.ADD:
+            result, _ = self.ripple_add(operands[0], operands[1], width=width)
+            return result
+        if kind is OpKind.SUB:
+            result, _ = self.ripple_sub(operands[0], operands[1], width=width)
+            return result
+        if kind is OpKind.NEG:
+            zero = [self.const_bit(0)] * width
+            result, _ = self.ripple_sub(zero, operands[0], width=width)
+            return result
+        if kind is OpKind.MUL:
+            return self.multiply(self.zext(operands[0], width),
+                                 self.zext(operands[1], width), width)
+        if kind is OpKind.MULADD:
+            product = self.multiply(self.zext(operands[0], width),
+                                    self.zext(operands[1], width), width)
+            result, _ = self.ripple_add(product, operands[2], width=width)
+            return result
+        if kind is OpKind.UDIV:
+            quotient, _ = self.divide(self.zext(operands[0], width),
+                                      operands[1], width)
+            return quotient
+        if kind is OpKind.UMOD:
+            _, remainder = self.divide(self.zext(operands[0], width),
+                                       operands[1], width)
+            return remainder
+
+        if kind in (OpKind.AND, OpKind.OR, OpKind.XOR):
+            gate_kind = {OpKind.AND: GateKind.AND2, OpKind.OR: GateKind.OR2,
+                         OpKind.XOR: GateKind.XOR2}[kind]
+            extended = [self.zext(bits, width) for bits in operands]
+            result = extended[0]
+            for other in extended[1:]:
+                result = [self.gate(gate_kind, a, b) for a, b in zip(result, other)]
+            return result
+        if kind is OpKind.NOT:
+            return [self.gate(GateKind.INV, bit) for bit in self.zext(operands[0], width)]
+        if kind is OpKind.ANDN:
+            a = self.zext(operands[0], width)
+            b = self.zext(operands[1], width)
+            return [self.gate(GateKind.ANDN2, x, y) for x, y in zip(a, b)]
+
+        if kind is OpKind.AND_REDUCE:
+            return [self.reduce_chain(GateKind.AND2, operands[0])]
+        if kind is OpKind.OR_REDUCE:
+            return [self.reduce_chain(GateKind.OR2, operands[0])]
+        if kind is OpKind.XOR_REDUCE:
+            return [self.reduce_chain(GateKind.XOR2, operands[0])]
+
+        if kind in (OpKind.SHL, OpKind.SHRL, OpKind.SHRA, OpKind.ROTL, OpKind.ROTR):
+            amount_node = self.graph.node(node.operands[1])
+            if amount_node.kind is OpKind.CONSTANT:
+                amount = int(amount_node.attrs["value"])
+                return self.constant_shift(operands[0], amount, kind, width)
+            return self.barrel_shift(operands[0], operands[1], kind, width)
+
+        if kind is OpKind.EQ:
+            return [self.equality(operands[0], operands[1], negate=False)]
+        if kind is OpKind.NE:
+            return [self.equality(operands[0], operands[1], negate=True)]
+        if kind is OpKind.ULT:
+            return [self.unsigned_less(operands[0], operands[1])]
+        if kind is OpKind.UGT:
+            return [self.unsigned_less(operands[1], operands[0])]
+        if kind is OpKind.ULE:
+            greater = self.unsigned_less(operands[1], operands[0])
+            return [self.gate(GateKind.INV, greater)]
+        if kind is OpKind.UGE:
+            less = self.unsigned_less(operands[0], operands[1])
+            return [self.gate(GateKind.INV, less)]
+        if kind is OpKind.SLT:
+            return [self.signed_less(operands[0], operands[1])]
+        if kind is OpKind.SGT:
+            return [self.signed_less(operands[1], operands[0])]
+
+        if kind is OpKind.SEL:
+            condition = operands[0][0]
+            on_true = self.zext(operands[1], width)
+            on_false = self.zext(operands[2], width)
+            return [self.gate(GateKind.MUX2, condition, t, f)
+                    for t, f in zip(on_true, on_false)]
+
+        if kind is OpKind.CLZ:
+            return self.lower_clz(operands[0], width)
+        if kind is OpKind.POPCOUNT:
+            return self.lower_popcount(operands[0], width)
+
+        raise NotImplementedError(f"no lowering for opcode {kind.value}")
+
+    def lower_clz(self, value: Bits, width: int) -> Bits:
+        """Count leading zeros with a sequential found/count chain."""
+        count = [self.const_bit(0)] * width
+        found = self.const_bit(0)
+        one = self.zext([self.const_bit(1)], width)
+        for bit in reversed(value):
+            not_found = self.gate(GateKind.INV, found)
+            is_zero = self.gate(GateKind.INV, bit)
+            increment_bit = self.gate(GateKind.AND2, not_found, is_zero)
+            increment = [self.gate(GateKind.AND2, increment_bit, o) for o in one]
+            count, _ = self.ripple_add(count, increment, width=width)
+            found = self.gate(GateKind.OR2, found, bit)
+        return count
+
+    def lower_popcount(self, value: Bits, width: int) -> Bits:
+        """Population count via a balanced adder tree over single bits."""
+        terms: list[Bits] = [[bit] for bit in value]
+        while len(terms) > 1:
+            merged: list[Bits] = []
+            for i in range(0, len(terms) - 1, 2):
+                target = min(width, max(len(terms[i]), len(terms[i + 1])) + 1)
+                total, carry = self.ripple_add(terms[i], terms[i + 1],
+                                               width=target - 1 if target > 1 else 1)
+                if len(total) < width:
+                    total = total + [carry]
+                merged.append(total)
+            if len(terms) % 2:
+                merged.append(terms[-1])
+            terms = merged
+        return self.zext(terms[0], width)
+
+
+def _boundary_inputs(graph: DataflowGraph, node_ids: set[int]) -> list[int]:
+    """IR nodes outside ``node_ids`` that feed nodes inside it.
+
+    External constants are excluded -- they are lowered as constants so that,
+    e.g., constant shift amounts keep synthesising to wiring inside extracted
+    subgraphs.
+    """
+    externals: list[int] = []
+    seen: set[int] = set()
+    for node_id in sorted(node_ids):
+        for operand in graph.operands_of(node_id):
+            if operand in node_ids or operand in seen:
+                continue
+            seen.add(operand)
+            if graph.node(operand).kind is not OpKind.CONSTANT:
+                externals.append(operand)
+    return externals
+
+
+def lower_subgraph(graph: DataflowGraph, node_ids: Iterable[int],
+                   name: str = "", outputs: Sequence[int] | None = None
+                   ) -> LoweringResult:
+    """Lower the induced subgraph over ``node_ids`` to a gate-level netlist.
+
+    Operands produced outside the subgraph become primary inputs (except
+    constants, which are materialised).  By default every subgraph node whose
+    result is used outside the subgraph -- or not used at all -- is marked as
+    a primary output; pass ``outputs`` to override.
+
+    Args:
+        graph: the containing dataflow graph.
+        node_ids: ids of the IR nodes to lower.
+        name: netlist name (defaults to ``<graph>_sub``).
+        outputs: explicit output node ids.
+
+    Returns:
+        A :class:`LoweringResult`.
+    """
+    wanted = set(node_ids)
+    lowerer = _Lowerer(graph, name or f"{graph.name}_sub")
+
+    for external in _boundary_inputs(graph, wanted):
+        node = graph.node(external)
+        bits = [lowerer.netlist.add_input(f"{node.name}[{i}]")
+                for i in range(node.width)]
+        lowerer.bits[external] = bits
+        lowerer.input_bits[external] = bits
+
+    # External constants feeding the subgraph.
+    for node_id in sorted(wanted):
+        for operand in graph.operands_of(node_id):
+            if operand in wanted or operand in lowerer.bits:
+                continue
+            constant = graph.node(operand)
+            value = int(constant.attrs["value"])
+            lowerer.bits[operand] = [lowerer.const_bit((value >> i) & 1)
+                                     for i in range(constant.width)]
+
+    from repro.ir.analysis import topological_order
+
+    order = [nid for nid in topological_order(graph) if nid in wanted]
+    for node_id in order:
+        node = graph.node(node_id)
+        if node.kind is OpKind.PARAM:
+            bits = [lowerer.netlist.add_input(f"{node.name}[{i}]")
+                    for i in range(node.width)]
+            lowerer.bits[node_id] = bits
+            lowerer.input_bits[node_id] = bits
+            continue
+        lowerer.bits[node_id] = lowerer.lower_node(node)
+
+    if outputs is None:
+        outputs = [nid for nid in sorted(wanted)
+                   if not graph.node(nid).is_source
+                   and (not graph.users_of(nid)
+                        or any(user not in wanted for user in graph.users_of(nid)))]
+
+    output_bits: dict[int, Bits] = {}
+    for node_id in outputs:
+        bits = lowerer.bits[node_id]
+        output_bits[node_id] = bits
+        for bit in bits:
+            lowerer.netlist.mark_output(bit)
+
+    node_bits = {nid: lowerer.bits[nid] for nid in wanted if nid in lowerer.bits}
+    return LoweringResult(netlist=lowerer.netlist, input_bits=lowerer.input_bits,
+                          node_bits=node_bits, output_bits=output_bits)
+
+
+def lower_graph(graph: DataflowGraph, name: str = "") -> LoweringResult:
+    """Lower an entire dataflow graph to a gate-level netlist."""
+    return lower_subgraph(graph, graph.node_ids(), name or graph.name)

@@ -1,0 +1,107 @@
+"""Static timing analysis over gate-level netlists.
+
+This module is the stand-in for OpenSTA in the paper's flow.  The timing
+model is a simple topological arrival-time propagation with per-cell
+propagation delays from the technology library (no slew, no wire load); this
+is the same level of abstraction the paper's per-operation characterisation
+uses, so relative comparisons remain meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.gates import GateKind
+from repro.netlist.netlist import Netlist
+from repro.tech.library import TechLibrary
+from repro.tech.sky130 import sky130_library
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Result of one STA run.
+
+    Attributes:
+        critical_path_delay_ps: worst arrival time at any primary output (or
+            at any gate, for netlists without marked outputs).
+        critical_path: gate ids along the critical path, input to output.
+        arrival_times: arrival time (ps) at every gate output.
+        num_gates: number of logic gates analysed.
+    """
+
+    critical_path_delay_ps: float
+    critical_path: tuple[int, ...]
+    arrival_times: dict[int, float] = field(repr=False, default_factory=dict)
+    num_gates: int = 0
+
+    def arrival(self, gate_id: int) -> float:
+        """Arrival time at a specific gate output."""
+        return self.arrival_times[gate_id]
+
+
+class StaticTimingAnalysis:
+    """Arrival-time STA engine.
+
+    Args:
+        library: technology library supplying per-cell delays; defaults to the
+            synthetic SKY130 library.
+    """
+
+    def __init__(self, library: TechLibrary | None = None) -> None:
+        self.library = library or sky130_library()
+
+    def gate_delay(self, kind: GateKind) -> float:
+        """Propagation delay (ps) of a single gate of kind ``kind``."""
+        cell = kind.cell_name
+        if cell is None:
+            return 0.0
+        return self.library.delay(cell)
+
+    def run(self, netlist: Netlist, endpoints: list[int] | None = None
+            ) -> TimingResult:
+        """Run STA on ``netlist``.
+
+        Args:
+            netlist: the netlist to analyse.
+            endpoints: gate ids to treat as timing endpoints; defaults to the
+                netlist's marked outputs, falling back to every gate.
+
+        Returns:
+            A :class:`TimingResult` with the worst endpoint arrival time and
+            one critical path realising it.
+        """
+        arrival: dict[int, float] = {}
+        predecessor: dict[int, int | None] = {}
+        for gate_id in netlist.topological_order():
+            gate = netlist.gate(gate_id)
+            delay = self.gate_delay(gate.kind)
+            if not gate.inputs:
+                arrival[gate_id] = delay if not gate.kind.is_source else 0.0
+                predecessor[gate_id] = None
+                continue
+            worst_input = max(gate.inputs, key=lambda i: arrival[i])
+            arrival[gate_id] = arrival[worst_input] + delay
+            predecessor[gate_id] = worst_input
+
+        if endpoints is None:
+            endpoints = netlist.outputs() or list(arrival)
+        if not endpoints:
+            return TimingResult(0.0, (), arrival, netlist.num_logic_gates())
+
+        worst = max(endpoints, key=lambda e: arrival[e])
+        path: list[int] = []
+        cursor: int | None = worst
+        while cursor is not None:
+            path.append(cursor)
+            cursor = predecessor[cursor]
+        path.reverse()
+        return TimingResult(
+            critical_path_delay_ps=arrival[worst],
+            critical_path=tuple(path),
+            arrival_times=arrival,
+            num_gates=netlist.num_logic_gates(),
+        )
+
+    def path_delay(self, netlist: Netlist, path: list[int]) -> float:
+        """Sum of gate delays along an explicit path (sanity-check helper)."""
+        return sum(self.gate_delay(netlist.gate(g).kind) for g in path)

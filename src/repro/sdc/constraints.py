@@ -1,0 +1,129 @@
+"""Difference constraints and the SDC constraint system.
+
+All HLS scheduling constraints used here are integer-difference constraints
+of the form ``s_u - s_v <= bound`` (paper Eq. 1), which keeps the LP's
+constraint matrix totally unimodular and therefore guarantees an integral
+optimum (Cong & Zhang, DAC'06).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class DifferenceConstraint:
+    """One integer-difference constraint ``s_u - s_v <= bound``.
+
+    Attributes:
+        u: node id of the left variable.
+        v: node id of the right variable.
+        bound: the integer bound.
+        kind: constraint category, used for reporting and for selective
+            rebuilds ("dependency", "timing", "pin", "user").
+    """
+
+    u: int
+    v: int
+    bound: int
+    kind: str = "user"
+
+    def is_satisfied(self, schedule: dict[int, int]) -> bool:
+        """True if ``schedule`` satisfies this constraint."""
+        return schedule[self.u] - schedule[self.v] <= self.bound
+
+
+@dataclass
+class ConstraintSystem:
+    """A collection of difference constraints over node variables.
+
+    Attributes:
+        variables: the node ids that appear as variables.
+        pinned: variables fixed to a specific time step (e.g. parameters
+            pinned to cycle 0).
+    """
+
+    variables: set[int] = field(default_factory=set)
+    pinned: dict[int, int] = field(default_factory=dict)
+    _constraints: list[DifferenceConstraint] = field(default_factory=list)
+    _seen: set[tuple[int, int, int]] = field(default_factory=set, repr=False)
+
+    def add_variable(self, node_id: int) -> None:
+        """Register a schedule variable."""
+        self.variables.add(node_id)
+
+    def pin(self, node_id: int, time_step: int) -> None:
+        """Fix a variable to a specific time step."""
+        self.add_variable(node_id)
+        self.pinned[node_id] = time_step
+
+    def add(self, u: int, v: int, bound: int, kind: str = "user") -> bool:
+        """Add ``s_u - s_v <= bound``.
+
+        Duplicate (u, v, bound) triples are ignored; when several bounds exist
+        for the same (u, v) pair all are kept (the tightest governs anyway).
+
+        Returns:
+            True if the constraint was newly added.
+        """
+        self.add_variable(u)
+        self.add_variable(v)
+        key = (u, v, bound)
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        self._constraints.append(DifferenceConstraint(u, v, bound, kind))
+        return True
+
+    def add_dependency(self, producer: int, consumer: int) -> bool:
+        """Require ``consumer`` to be scheduled no earlier than ``producer``."""
+        return self.add(producer, consumer, 0, kind="dependency")
+
+    def add_timing(self, source: int, sink: int, min_distance: int) -> bool:
+        """Require at least ``min_distance`` cycles between source and sink.
+
+        This is Eq. 2 of the paper: ``s_source - s_sink <= -min_distance``.
+        """
+        return self.add(source, sink, -min_distance, kind="timing")
+
+    def constraints(self, kind: str | None = None) -> list[DifferenceConstraint]:
+        """All constraints, optionally filtered by ``kind``."""
+        if kind is None:
+            return list(self._constraints)
+        return [c for c in self._constraints if c.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __iter__(self) -> Iterator[DifferenceConstraint]:
+        return iter(self._constraints)
+
+    def violations(self, schedule: dict[int, int]) -> list[DifferenceConstraint]:
+        """Constraints violated by ``schedule`` (pins included)."""
+        violated = [c for c in self._constraints if not c.is_satisfied(schedule)]
+        for node_id, time_step in self.pinned.items():
+            if schedule.get(node_id) != time_step:
+                violated.append(DifferenceConstraint(node_id, node_id, -1, kind="pin"))
+        return violated
+
+    def is_feasible_schedule(self, schedule: dict[int, int]) -> bool:
+        """True if ``schedule`` satisfies every constraint and pin."""
+        return not self.violations(schedule)
+
+    def merge(self, other: "ConstraintSystem") -> None:
+        """Merge another system's variables, pins and constraints into this one."""
+        for node_id in other.variables:
+            self.add_variable(node_id)
+        for node_id, time_step in other.pinned.items():
+            self.pin(node_id, time_step)
+        for constraint in other:
+            self.add(constraint.u, constraint.v, constraint.bound, constraint.kind)
+
+
+def count_by_kind(constraints: Iterable[DifferenceConstraint]) -> dict[str, int]:
+    """Histogram of constraint kinds (reporting helper)."""
+    counts: dict[str, int] = {}
+    for constraint in constraints:
+        counts[constraint.kind] = counts.get(constraint.kind, 0) + 1
+    return counts

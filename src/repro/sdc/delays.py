@@ -1,0 +1,99 @@
+"""Per-node delays and all-pairs combinational critical-path delays.
+
+The SDC timing constraints (paper Eq. 2) need, for every connected node pair
+``(u, v)``, the delay of the critical combinational path from ``u`` to ``v``
+computed as the sum of individual operation delays along the worst path.
+That is exactly the initialisation of the paper's delay matrix ``D[n][n]``
+(Alg. 1, lines 1--9); ISDC later lowers entries of this matrix with measured
+subgraph delays.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol
+
+import numpy as np
+
+from repro.ir.analysis import topological_order
+from repro.ir.graph import DataflowGraph
+from repro.ir.node import Node
+
+#: Sentinel stored in the delay matrix for unconnected node pairs.
+NOT_CONNECTED = -1.0
+
+
+class DelayModelProtocol(Protocol):
+    """Anything that can report the isolated delay of an IR node."""
+
+    def node_delay(self, node: Node) -> float:  # pragma: no cover - protocol
+        ...
+
+
+def node_delays(graph: DataflowGraph, model: DelayModelProtocol) -> dict[int, float]:
+    """Isolated delay of every node in ``graph`` according to ``model``."""
+    return {node.node_id: float(model.node_delay(node)) for node in graph.nodes()}
+
+
+def critical_path_matrix(graph: DataflowGraph, delays: Mapping[int, float]
+                         ) -> tuple[np.ndarray, dict[int, int]]:
+    """All-pairs critical combinational path delays.
+
+    Entry ``[i][j]`` holds the largest sum of node delays over any directed
+    path from node ``i`` to node ``j`` (both endpoint delays included);
+    the diagonal holds individual node delays; unconnected pairs hold
+    :data:`NOT_CONNECTED`.
+
+    Args:
+        graph: the dataflow graph.
+        delays: isolated delay of every node id.
+
+    Returns:
+        ``(matrix, index_of)`` where ``index_of`` maps node id to row/column.
+    """
+    order = topological_order(graph)
+    index_of = {node_id: index for index, node_id in enumerate(order)}
+    size = len(order)
+    matrix = np.full((size, size), NOT_CONNECTED, dtype=float)
+
+    for node_id in order:
+        column = index_of[node_id]
+        delay = float(delays[node_id])
+        operand_columns = sorted({index_of[o] for o in graph.operands_of(node_id)})
+        if operand_columns:
+            incoming = matrix[:, operand_columns]
+            connected = incoming != NOT_CONNECTED
+            candidates = np.where(connected, incoming + delay, NOT_CONNECTED)
+            matrix[:, column] = np.maximum(matrix[:, column], candidates.max(axis=1))
+        matrix[column, column] = delay
+    return matrix, index_of
+
+
+def path_delay(graph: DataflowGraph, delays: Mapping[int, float],
+               path: list[int]) -> float:
+    """Sum of node delays along an explicit path (validation helper)."""
+    return sum(float(delays[node_id]) for node_id in path)
+
+
+def critical_path_between(graph: DataflowGraph, delays: Mapping[int, float],
+                          source: int, sink: int) -> tuple[float, list[int]]:
+    """Critical path delay and one realising path from ``source`` to ``sink``.
+
+    Returns ``(NOT_CONNECTED, [])`` if ``sink`` is unreachable.
+    """
+    best: dict[int, float] = {source: float(delays[source])}
+    parent: dict[int, int] = {}
+    for node_id in topological_order(graph):
+        if node_id not in best:
+            continue
+        for user in set(graph.users_of(node_id)):
+            candidate = best[node_id] + float(delays[user])
+            if candidate > best.get(user, float("-inf")):
+                best[user] = candidate
+                parent[user] = node_id
+    if sink not in best:
+        return NOT_CONNECTED, []
+    path = [sink]
+    while path[-1] != source:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return best[sink], path

@@ -1,0 +1,126 @@
+"""Pipeline construction and quality metrics from a schedule.
+
+Given a schedule, this module derives the metrics the paper's Table I
+reports: number of pipeline stages, pipeline register count, and the
+post-synthesis slack of the worst stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.ops import OpKind
+from repro.sdc.scheduler import Schedule
+from repro.synth.flow import SynthesisFlow
+from repro.tech.library import TechLibrary
+from repro.tech.sky130 import sky130_library
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Quality metrics of one pipelined schedule.
+
+    Attributes:
+        design: design name.
+        clock_period_ps: target clock period.
+        num_stages: pipeline depth.
+        num_registers: total pipeline register bits (each value contributes
+            its bit width for every stage boundary it crosses).
+        stage_delays_ps: combinational delay of every stage.
+        slack_ps: clock period minus the worst stage delay minus register
+            overhead (negative when timing is violated).
+        register_by_stage: register bits crossing each stage boundary
+            (boundary ``i`` separates stage ``i`` from stage ``i + 1``).
+    """
+
+    design: str
+    clock_period_ps: float
+    num_stages: int
+    num_registers: int
+    stage_delays_ps: tuple[float, ...]
+    slack_ps: float
+    register_by_stage: tuple[int, ...] = field(default=())
+
+    @property
+    def worst_stage_delay_ps(self) -> float:
+        """Largest combinational stage delay."""
+        return max(self.stage_delays_ps) if self.stage_delays_ps else 0.0
+
+
+def count_pipeline_registers(schedule: Schedule) -> tuple[int, list[int]]:
+    """Count pipeline register bits implied by ``schedule``.
+
+    A value produced in stage ``p`` and consumed as late as stage ``q`` needs
+    a register of its bit width at every boundary between ``p`` and ``q``.
+    Primary outputs are additionally registered once at the pipeline exit
+    (XLS-style output flops), so even a single-stage pipeline reports a
+    non-zero register count.  Constants never occupy registers.
+
+    Returns:
+        ``(total_bits, bits_per_boundary)`` where the per-boundary list has
+        one entry per internal boundary (it excludes the output flops).
+    """
+    graph = schedule.graph
+    num_boundaries = max(0, schedule.num_stages - 1)
+    per_boundary = [0] * num_boundaries
+    total = 0
+    for node in graph.nodes():
+        if node.kind is OpKind.CONSTANT:
+            continue
+        users = graph.users_of(node.node_id)
+        if not users:
+            if not node.is_source:
+                total += node.width  # output flop at the pipeline exit
+            continue
+        produced = schedule.stage_of(node.node_id)
+        last_use = max(schedule.stage_of(u) for u in set(users))
+        for boundary in range(produced, last_use):
+            per_boundary[boundary] += node.width
+            total += node.width
+    return total, per_boundary
+
+
+class PipelineAnalyzer:
+    """Derives :class:`PipelineReport` objects from schedules.
+
+    Args:
+        flow: downstream synthesis flow used for per-stage STA; a default
+            flow over the synthetic SKY130 library is created when omitted.
+        library: technology library (for register overhead); defaults to the
+            flow's library.
+    """
+
+    def __init__(self, flow: SynthesisFlow | None = None,
+                 library: TechLibrary | None = None) -> None:
+        self.flow = flow or SynthesisFlow()
+        self.library = library or self.flow.library or sky130_library()
+
+    def stage_delays(self, schedule: Schedule) -> list[float]:
+        """Post-synthesis combinational delay of every stage."""
+        graph = schedule.graph
+        delays: list[float] = []
+        for stage in range(schedule.num_stages):
+            nodes = [nid for nid in schedule.nodes_in_stage(stage)
+                     if not graph.node(nid).is_source]
+            if not nodes:
+                delays.append(0.0)
+                continue
+            delays.append(self.flow.evaluate_subgraph(
+                graph, nodes, name=f"{graph.name}_stage{stage}").delay_ps)
+        return delays
+
+    def report(self, schedule: Schedule) -> PipelineReport:
+        """Full pipeline report (stages, registers, post-synthesis slack)."""
+        total_registers, per_boundary = count_pipeline_registers(schedule)
+        delays = self.stage_delays(schedule)
+        worst = max(delays) if delays else 0.0
+        slack = schedule.clock_period_ps - worst - self.library.register_delay_ps
+        return PipelineReport(
+            design=schedule.graph.name,
+            clock_period_ps=schedule.clock_period_ps,
+            num_stages=schedule.num_stages,
+            num_registers=total_registers,
+            stage_delays_ps=tuple(delays),
+            slack_ps=slack,
+            register_by_stage=tuple(per_boundary),
+        )

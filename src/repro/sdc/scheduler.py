@@ -1,0 +1,218 @@
+"""The baseline SDC scheduler (Cong & Zhang formulation, XLS-style objective)."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.ir.graph import DataflowGraph
+from repro.ir.ops import OpKind
+from repro.sdc.constraints import ConstraintSystem
+from repro.sdc.delays import NOT_CONNECTED, critical_path_matrix, node_delays
+from repro.sdc.solver import solve_lp
+from repro.tech.delay_model import OperatorModel
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A pipeline schedule: every node mapped to a time step (clock cycle).
+
+    Attributes:
+        graph: the scheduled dataflow graph.
+        clock_period_ps: target clock period used to derive the schedule.
+        stages: node id -> stage index (0-based).
+    """
+
+    graph: DataflowGraph
+    clock_period_ps: float
+    stages: dict[int, int]
+
+    @property
+    def num_stages(self) -> int:
+        """Number of pipeline stages (max stage index + 1)."""
+        if not self.stages:
+            return 0
+        return max(self.stages.values()) + 1
+
+    def stage_of(self, node_id: int) -> int:
+        """Stage index of a node."""
+        return self.stages[node_id]
+
+    def nodes_in_stage(self, stage: int) -> list[int]:
+        """Node ids scheduled into ``stage`` (ascending id order)."""
+        return sorted(nid for nid, s in self.stages.items() if s == stage)
+
+    def stage_node_map(self) -> dict[int, list[int]]:
+        """Mapping from stage index to the node ids in that stage."""
+        mapping: dict[int, list[int]] = {}
+        for node_id, stage in self.stages.items():
+            mapping.setdefault(stage, []).append(node_id)
+        return {stage: sorted(nodes) for stage, nodes in sorted(mapping.items())}
+
+    def lifetime(self, node_id: int) -> int:
+        """Stage boundaries the node's result must cross to reach its users."""
+        users = self.graph.users_of(node_id)
+        if not users:
+            return 0
+        return max(0, max(self.stages[u] for u in set(users)) - self.stages[node_id])
+
+
+@dataclass
+class SchedulingResult:
+    """Everything produced by one scheduler invocation.
+
+    Attributes:
+        schedule: the resulting schedule.
+        delays: isolated per-node delays used for timing constraints.
+        delay_matrix: all-pairs critical-path delay matrix (naive estimates).
+        index_of: node id -> matrix row/column.
+        num_constraints: total difference constraints in the LP.
+        runtime_s: wall-clock scheduling time in seconds.
+    """
+
+    schedule: Schedule
+    delays: dict[int, float]
+    delay_matrix: np.ndarray
+    index_of: dict[int, int]
+    num_constraints: int
+    runtime_s: float
+    constraints: ConstraintSystem = field(repr=False, default_factory=ConstraintSystem)
+
+
+def register_weights(graph: DataflowGraph) -> dict[int, float]:
+    """Objective weight (bit width) of each value that may need registering.
+
+    Constants are excluded: they synthesise to tie cells, never to pipeline
+    registers.
+    """
+    weights: dict[int, float] = {}
+    for node in graph.nodes():
+        if node.kind is OpKind.CONSTANT:
+            continue
+        if graph.users_of(node.node_id):
+            weights[node.node_id] = float(node.width)
+    return weights
+
+
+def users_map(graph: DataflowGraph) -> dict[int, list[int]]:
+    """Users of every node (convenience for the LP objective)."""
+    return {node.node_id: graph.users_of(node.node_id) for node in graph.nodes()}
+
+
+def add_dependency_constraints(system: ConstraintSystem, graph: DataflowGraph) -> None:
+    """Add producer-before-consumer constraints for every dataflow edge."""
+    for node in graph.nodes():
+        system.add_variable(node.node_id)
+        for operand in set(node.operands):
+            system.add_dependency(operand, node.node_id)
+
+
+def add_timing_constraints(system: ConstraintSystem, matrix: np.ndarray,
+                           index_of: Mapping[int, int],
+                           clock_period_ps: float) -> int:
+    """Add Eq. 2 timing constraints for every pair whose delay exceeds the clock.
+
+    Returns:
+        The number of constraints added.
+    """
+    order = sorted(index_of, key=index_of.get)
+    added = 0
+    rows, cols = np.nonzero(matrix > clock_period_ps)
+    for row, col in zip(rows.tolist(), cols.tolist()):
+        if row == col:
+            # A single operation cannot be split across cycles; an
+            # over-long operation is a clock-period selection problem,
+            # not a schedulable constraint.
+            continue
+        delay = matrix[row, col]
+        if delay == NOT_CONNECTED:
+            continue
+        min_distance = math.ceil(delay / clock_period_ps) - 1
+        if min_distance <= 0:
+            continue
+        if system.add_timing(order[row], order[col], min_distance):
+            added += 1
+    return added
+
+
+class SdcScheduler:
+    """The original SDC scheduling algorithm used as the paper's baseline.
+
+    Args:
+        delay_model: object exposing ``node_delay(node)``; defaults to the
+            closed-form :class:`~repro.tech.delay_model.OperatorModel`.
+        clock_period_ps: target clock period.
+        register_overhead_ps: sequential overhead (clock-to-Q plus setup)
+            subtracted from the clock period to obtain the combinational
+            timing budget of a stage.  Defaults to the synthetic SKY130
+            register figure so reported post-synthesis slack stays
+            non-negative by construction.
+        pin_sources: pin parameters and constants to cycle 0 (models operands
+            arriving with the pipeline's first stage).
+        latency_weight: tie-breaking weight pulling operations earlier.
+    """
+
+    def __init__(self, delay_model=None, clock_period_ps: float = 2500.0,
+                 register_overhead_ps: float | None = None,
+                 pin_sources: bool = True, latency_weight: float = 1e-3) -> None:
+        self.delay_model = delay_model or OperatorModel()
+        self.clock_period_ps = float(clock_period_ps)
+        if register_overhead_ps is None:
+            register_overhead_ps = _default_register_overhead()
+        self.register_overhead_ps = float(register_overhead_ps)
+        self.timing_budget_ps = self.clock_period_ps - self.register_overhead_ps
+        if self.timing_budget_ps <= 0:
+            raise ValueError("clock period does not cover the register overhead")
+        self.pin_sources = pin_sources
+        self.latency_weight = latency_weight
+
+    def build_constraints(self, graph: DataflowGraph, matrix: np.ndarray,
+                          index_of: Mapping[int, int]) -> ConstraintSystem:
+        """Build the full constraint system for ``graph``."""
+        system = ConstraintSystem()
+        add_dependency_constraints(system, graph)
+        if self.pin_sources:
+            for node in graph.nodes():
+                if node.is_source:
+                    system.pin(node.node_id, 0)
+        add_timing_constraints(system, matrix, index_of, self.timing_budget_ps)
+        return system
+
+    def schedule(self, graph: DataflowGraph) -> SchedulingResult:
+        """Schedule ``graph`` and return the full :class:`SchedulingResult`."""
+        start_time = time.perf_counter()
+        delays = node_delays(graph, self.delay_model)
+        self._check_clock(graph, delays)
+        matrix, index_of = critical_path_matrix(graph, delays)
+        system = self.build_constraints(graph, matrix, index_of)
+        solution = solve_lp(system, register_weights(graph), users_map(graph),
+                            latency_weight=self.latency_weight)
+        runtime = time.perf_counter() - start_time
+        schedule = Schedule(graph=graph, clock_period_ps=self.clock_period_ps,
+                            stages=solution)
+        return SchedulingResult(schedule=schedule, delays=delays,
+                                delay_matrix=matrix, index_of=index_of,
+                                num_constraints=len(system), runtime_s=runtime,
+                                constraints=system)
+
+    def _check_clock(self, graph: DataflowGraph, delays: dict[int, float]) -> None:
+        """Reject clock periods smaller than the largest single-operation delay."""
+        worst = max(delays.values(), default=0.0)
+        if worst > self.timing_budget_ps:
+            slowest = max(delays, key=delays.get)
+            raise ValueError(
+                f"operation {graph.node(slowest).name} needs {worst:.0f} ps, which "
+                f"exceeds the {self.timing_budget_ps:.0f} ps combinational budget of "
+                f"the {self.clock_period_ps:.0f} ps clock period; raise the clock "
+                f"period (the paper uses 5000 ps for such designs)")
+
+
+def _default_register_overhead() -> float:
+    """Register overhead of the default technology library."""
+    from repro.tech.sky130 import sky130_library
+
+    return sky130_library().register_delay_ps

@@ -1,0 +1,198 @@
+"""Solvers for SDC constraint systems.
+
+Two solution paths are provided:
+
+* :func:`solve_asap` / :func:`solve_alap` -- pure-Python least/greatest
+  fixpoint propagation over the difference constraints (Bellman-Ford style).
+  These need no LP solver and are used for feasibility checks, bounds and as
+  a repair step after LP rounding.
+* :func:`solve_lp` -- the register-lifetime-minimising linear program (the
+  objective XLS's SDC scheduler uses), solved with scipy's HiGHS backend.
+  The constraint matrix is totally unimodular, so the LP optimum is integral;
+  rounding plus a fixpoint repair guards against floating-point noise.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Mapping
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.sdc.constraints import ConstraintSystem
+
+
+class SdcInfeasibleError(Exception):
+    """Raised when the SDC constraint system has no solution."""
+
+
+def _propagate_lower_bounds(system: ConstraintSystem,
+                            start: dict[int, int]) -> dict[int, int]:
+    """Least fixpoint of the constraints above the given starting values.
+
+    Every constraint ``s_u - s_v <= b`` is read as ``s_v >= s_u - b``; values
+    are raised until all constraints hold.  Pinned variables may not move.
+
+    Raises:
+        SdcInfeasibleError: if a pinned variable would have to be raised or
+            the system diverges (positive cycle).
+    """
+    values = dict(start)
+    by_source: dict[int, list] = defaultdict(list)
+    for constraint in system:
+        by_source[constraint.u].append(constraint)
+
+    queue: deque[int] = deque(values)
+    passes: dict[int, int] = defaultdict(int)
+    limit = max(4, len(system.variables)) * max(4, len(system) + 1)
+    total_updates = 0
+    while queue:
+        u = queue.popleft()
+        for constraint in by_source[u]:
+            required = values[u] - constraint.bound
+            if values[constraint.v] < required:
+                if constraint.v in system.pinned:
+                    raise SdcInfeasibleError(
+                        f"pinned variable {constraint.v} violates "
+                        f"s_{constraint.u} - s_{constraint.v} <= {constraint.bound}")
+                values[constraint.v] = required
+                passes[constraint.v] += 1
+                total_updates += 1
+                if total_updates > limit:
+                    raise SdcInfeasibleError("constraint propagation diverged "
+                                             "(positive cycle in SDC system)")
+                queue.append(constraint.v)
+    return values
+
+
+def solve_asap(system: ConstraintSystem) -> dict[int, int]:
+    """Earliest feasible schedule (every variable as small as possible)."""
+    start = {v: 0 for v in system.variables}
+    start.update(system.pinned)
+    return _propagate_lower_bounds(system, start)
+
+
+def solve_alap(system: ConstraintSystem, latency: int) -> dict[int, int]:
+    """Latest feasible schedule not exceeding ``latency``.
+
+    Args:
+        system: the constraint system.
+        latency: maximum allowed time step.
+
+    Raises:
+        SdcInfeasibleError: if no schedule fits within ``latency``.
+    """
+    # Greatest fixpoint by negating the problem: t = latency - s turns every
+    # constraint s_u - s_v <= b into t_v - t_u <= b, and maximising s into
+    # minimising t.
+    mirrored = ConstraintSystem()
+    for variable in system.variables:
+        mirrored.add_variable(variable)
+    for node_id, pin in system.pinned.items():
+        mirrored.pin(node_id, latency - pin)
+    for constraint in system:
+        mirrored.add(constraint.v, constraint.u, constraint.bound, constraint.kind)
+    mirrored_solution = solve_asap(mirrored)
+    solution = {v: latency - t for v, t in mirrored_solution.items()}
+    if any(value < 0 for value in solution.values()):
+        raise SdcInfeasibleError(f"latency {latency} is too small for the system")
+    return solution
+
+
+def solve_lp(system: ConstraintSystem,
+             register_weights: Mapping[int, float] | None = None,
+             users: Mapping[int, list[int]] | None = None,
+             latency_weight: float = 1e-3) -> dict[int, int]:
+    """Solve the SDC LP minimising weighted register lifetimes.
+
+    The objective is ``sum_v w_v * L_v + latency_weight * sum_i s_i`` where
+    ``L_v >= s_u - s_v`` for every user ``u`` of value ``v`` -- i.e. the
+    number of stage boundaries the value must cross, weighted by its bit
+    width.  This is the standard register-minimisation objective of SDC
+    pipeline scheduling.
+
+    Args:
+        system: difference constraints plus pins.
+        register_weights: weight (bit width) per producing node id; nodes
+            absent or with zero weight get no lifetime variable.
+        users: consumer node ids per producing node id.
+        latency_weight: small tie-breaking weight pulling operations earlier.
+
+    Returns:
+        Integral schedule mapping node id to time step.
+
+    Raises:
+        SdcInfeasibleError: if the LP (or the rounding repair) is infeasible.
+    """
+    register_weights = register_weights or {}
+    users = users or {}
+
+    variables = sorted(system.variables)
+    var_index = {node_id: i for i, node_id in enumerate(variables)}
+    lifetime_nodes = sorted(
+        node_id for node_id, weight in register_weights.items()
+        if weight > 0 and users.get(node_id) and node_id in var_index)
+    lifetime_index = {node_id: len(variables) + i
+                      for i, node_id in enumerate(lifetime_nodes)}
+    num_vars = len(variables) + len(lifetime_nodes)
+
+    rows: list[int] = []
+    cols: list[int] = []
+    data: list[float] = []
+    bounds_rhs: list[float] = []
+
+    def add_row(entries: list[tuple[int, float]], rhs: float) -> None:
+        row = len(bounds_rhs)
+        for col, coeff in entries:
+            rows.append(row)
+            cols.append(col)
+            data.append(coeff)
+        bounds_rhs.append(rhs)
+
+    for constraint in system:
+        add_row([(var_index[constraint.u], 1.0), (var_index[constraint.v], -1.0)],
+                float(constraint.bound))
+
+    for node_id in lifetime_nodes:
+        for user in set(users[node_id]):
+            if user not in var_index:
+                continue
+            add_row([(var_index[user], 1.0), (var_index[node_id], -1.0),
+                     (lifetime_index[node_id], -1.0)], 0.0)
+
+    objective = np.zeros(num_vars)
+    for node_id in lifetime_nodes:
+        objective[lifetime_index[node_id]] = float(register_weights[node_id])
+    for node_id in variables:
+        objective[var_index[node_id]] += latency_weight
+
+    variable_bounds: list[tuple[float, float | None]] = []
+    for node_id in variables:
+        if node_id in system.pinned:
+            pin = float(system.pinned[node_id])
+            variable_bounds.append((pin, pin))
+        else:
+            variable_bounds.append((0.0, None))
+    variable_bounds.extend([(0.0, None)] * len(lifetime_nodes))
+
+    if bounds_rhs:
+        a_ub = sparse.coo_matrix((data, (rows, cols)),
+                                 shape=(len(bounds_rhs), num_vars))
+        result = linprog(objective, A_ub=a_ub.tocsr(), b_ub=np.array(bounds_rhs),
+                         bounds=variable_bounds, method="highs")
+    else:
+        result = linprog(objective, bounds=variable_bounds, method="highs")
+
+    if not result.success:
+        raise SdcInfeasibleError(f"LP solve failed: {result.message}")
+
+    rounded = {node_id: int(round(result.x[var_index[node_id]]))
+               for node_id in variables}
+    for node_id, pin in system.pinned.items():
+        rounded[node_id] = pin
+    repaired = _propagate_lower_bounds(system, rounded)
+    if not system.is_feasible_schedule(repaired):
+        raise SdcInfeasibleError("rounded LP solution could not be repaired")
+    return repaired

@@ -1,0 +1,21 @@
+"""Downstream-tool flow: logic synthesis + static timing analysis.
+
+This package is the reproduction's "downstream tool" from the paper's Fig. 2:
+it accepts a combinational subgraph of the HLS IR, lowers it to gates,
+optimises the logic and reports the post-synthesis critical-path delay.  The
+ISDC feedback loop only ever consumes that one number per subgraph, exactly
+as the paper's flow consumes the Yosys + OpenSTA report.
+"""
+
+from repro.synth.report import SynthesisReport
+from repro.synth.flow import SynthesisFlow
+from repro.synth.cache import EvaluationCache
+from repro.synth.estimator import CharacterizedOperatorModel, NaiveDelayEstimator
+
+__all__ = [
+    "SynthesisReport",
+    "SynthesisFlow",
+    "EvaluationCache",
+    "CharacterizedOperatorModel",
+    "NaiveDelayEstimator",
+]

@@ -1,0 +1,37 @@
+"""Synthesis/STA report objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SynthesisReport:
+    """Post-synthesis report for one combinational block.
+
+    Attributes:
+        name: name of the synthesised block (design or subgraph).
+        delay_ps: post-synthesis critical-path delay in picoseconds.
+        num_gates: logic-gate count after optimisation.
+        num_gates_unoptimized: logic-gate count straight out of lowering.
+        area_um2: cell area after optimisation.
+        aig_depth: AND-level depth of the block's AIG (``None`` unless the
+            flow was asked to compute it).
+        node_ids: IR node ids covered by the block (empty for whole designs
+            evaluated without subgraph context).
+    """
+
+    name: str
+    delay_ps: float
+    num_gates: int
+    num_gates_unoptimized: int
+    area_um2: float
+    aig_depth: int | None = None
+    node_ids: tuple[int, ...] = ()
+
+    @property
+    def gate_reduction(self) -> float:
+        """Fraction of gates removed by logic optimisation."""
+        if self.num_gates_unoptimized == 0:
+            return 0.0
+        return 1.0 - self.num_gates / self.num_gates_unoptimized

@@ -1,0 +1,25 @@
+"""Technology characterisation.
+
+This package is the stand-in for the SKY130 PDK + Yosys characterisation the
+paper relies on.  It provides two levels of delay/area information:
+
+* a gate-level cell library (:class:`~repro.tech.library.TechLibrary`) used by
+  the netlist STA, with per-cell propagation delays and areas; and
+* a word-level operator model (:class:`~repro.tech.delay_model.OperatorModel`)
+  that pre-characterises each IR opcode *in isolation* as a function of bit
+  width -- this is exactly the "operations characterised in isolation" delay
+  estimate that the original SDC scheduler uses and that ISDC's feedback loop
+  improves upon.
+"""
+
+from repro.tech.library import Cell, TechLibrary
+from repro.tech.sky130 import sky130_library
+from repro.tech.delay_model import OperatorModel, OperatorTiming
+
+__all__ = [
+    "Cell",
+    "TechLibrary",
+    "sky130_library",
+    "OperatorModel",
+    "OperatorTiming",
+]

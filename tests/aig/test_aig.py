@@ -1,0 +1,107 @@
+"""Tests for the AIG data structure."""
+
+import pytest
+
+from repro.aig.aig import (
+    Aig,
+    FALSE_LITERAL,
+    TRUE_LITERAL,
+    literal_complemented,
+    literal_negate,
+    literal_node,
+    make_literal,
+)
+
+
+class TestLiterals:
+    def test_encoding_round_trip(self):
+        literal = make_literal(5, complemented=True)
+        assert literal_node(literal) == 5
+        assert literal_complemented(literal)
+        assert not literal_complemented(literal_negate(literal))
+
+    def test_constants(self):
+        assert literal_node(TRUE_LITERAL) == 0
+        assert literal_negate(TRUE_LITERAL) == FALSE_LITERAL
+
+
+class TestStructuralHashing:
+    def test_identical_ands_are_shared(self):
+        aig = Aig()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        first = aig.add_and(a, b)
+        second = aig.add_and(b, a)
+        assert first == second
+        assert aig.num_ands() == 1
+
+    def test_trivial_simplifications(self):
+        aig = Aig()
+        a = aig.add_input("a")
+        assert aig.add_and(a, TRUE_LITERAL) == a
+        assert aig.add_and(a, FALSE_LITERAL) == FALSE_LITERAL
+        assert aig.add_and(a, a) == a
+        assert aig.add_and(a, literal_negate(a)) == FALSE_LITERAL
+        assert aig.num_ands() == 0
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize("a,b", [(0, 0), (0, 1), (1, 0), (1, 1)])
+    def test_derived_gates(self, a, b):
+        aig = Aig()
+        lit_a = aig.add_input("a")
+        lit_b = aig.add_input("b")
+        or_lit = aig.add_or(lit_a, lit_b)
+        xor_lit = aig.add_xor(lit_a, lit_b)
+        aig.mark_output(or_lit)
+        aig.mark_output(xor_lit)
+        values = aig.evaluate({literal_node(lit_a): a, literal_node(lit_b): b})
+        assert values[or_lit] == (a | b)
+        assert values[xor_lit] == (a ^ b)
+
+    @pytest.mark.parametrize("s,t,f", [(0, 1, 0), (1, 1, 0), (1, 0, 1), (0, 0, 1)])
+    def test_mux(self, s, t, f):
+        aig = Aig()
+        sel = aig.add_input("s")
+        on_true = aig.add_input("t")
+        on_false = aig.add_input("f")
+        out = aig.add_mux(sel, on_true, on_false)
+        aig.mark_output(out)
+        values = aig.evaluate({literal_node(sel): s, literal_node(on_true): t,
+                               literal_node(on_false): f})
+        assert values[out] == (t if s else f)
+
+    def test_maj(self):
+        aig = Aig()
+        inputs = [aig.add_input(str(i)) for i in range(3)]
+        out = aig.add_maj(*inputs)
+        aig.mark_output(out)
+        for pattern in range(8):
+            bits = [(pattern >> i) & 1 for i in range(3)]
+            values = aig.evaluate({literal_node(lit): bit
+                                   for lit, bit in zip(inputs, bits)})
+            assert values[out] == (1 if sum(bits) >= 2 else 0)
+
+
+class TestDepth:
+    def test_depth_of_chain(self):
+        aig = Aig()
+        inputs = [aig.add_input(str(i)) for i in range(5)]
+        current = inputs[0]
+        for literal in inputs[1:]:
+            current = aig.add_and(current, literal)
+        aig.mark_output(current)
+        assert aig.depth() == 4
+
+    def test_depth_of_empty(self):
+        assert Aig().depth() == 0
+
+    def test_cone_size(self):
+        aig = Aig()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        c = aig.add_input("c")
+        left = aig.add_and(a, b)
+        root = aig.add_and(left, c)
+        assert aig.cone_size([root]) == 2
+        assert aig.cone_size([left]) == 1

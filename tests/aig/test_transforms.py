@@ -1,0 +1,100 @@
+"""Tests for netlist-to-AIG conversion and AIG balancing."""
+
+import random
+
+import pytest
+
+from repro.aig.aig import literal_node
+from repro.aig.from_netlist import netlist_to_aig
+from repro.aig.transforms import balance_aig
+from repro.ir.builder import GraphBuilder
+from repro.netlist.gates import GateKind
+from repro.netlist.lowering import lower_graph
+from repro.netlist.netlist import Netlist
+
+_RNG = random.Random(99)
+
+
+def _netlist_vs_aig(netlist: Netlist, trials: int = 16) -> None:
+    """Check that the AIG computes the same function as the netlist."""
+    aig = netlist_to_aig(netlist)
+    netlist_inputs = netlist.inputs()
+    aig_inputs = aig.inputs()
+    assert len(netlist_inputs) == len(aig_inputs)
+    for _ in range(trials):
+        bits = [_RNG.randint(0, 1) for _ in netlist_inputs]
+        netlist_values = netlist.simulate(dict(zip(netlist_inputs, bits)))
+        aig_values = aig.evaluate(dict(zip(aig_inputs, bits)))
+        for net_out, aig_out in zip(netlist.outputs(), aig.outputs()):
+            assert netlist_values[net_out] == aig_values[aig_out]
+
+
+class TestConversion:
+    def test_all_gate_kinds_convert(self):
+        netlist = Netlist("gates")
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        c = netlist.add_input("c")
+        for kind in (GateKind.AND2, GateKind.OR2, GateKind.NAND2, GateKind.NOR2,
+                     GateKind.XOR2, GateKind.XNOR2, GateKind.ANDN2):
+            netlist.mark_output(netlist.add_gate(kind, (a, b)))
+        netlist.mark_output(netlist.add_gate(GateKind.MUX2, (a, b, c)))
+        netlist.mark_output(netlist.add_gate(GateKind.MAJ3, (a, b, c)))
+        netlist.mark_output(netlist.add_gate(GateKind.INV, (a,)))
+        netlist.mark_output(netlist.add_gate(GateKind.BUF, (b,)))
+        netlist.mark_output(netlist.add_constant(1))
+        _netlist_vs_aig(netlist)
+
+    def test_lowered_adder_converts(self):
+        builder = GraphBuilder("adder")
+        x = builder.param("x", 6)
+        y = builder.param("y", 6)
+        builder.output(builder.add(x, y))
+        _netlist_vs_aig(lower_graph(builder.graph).netlist)
+
+    def test_depth_positive_for_logic(self):
+        builder = GraphBuilder("depth")
+        x = builder.param("x", 8)
+        y = builder.param("y", 8)
+        builder.output(builder.mul(x, y))
+        aig = netlist_to_aig(lower_graph(builder.graph).netlist)
+        assert aig.depth() > 8
+        assert aig.num_ands() > 50
+
+
+class TestBalancing:
+    def test_balancing_reduces_chain_depth(self):
+        aig_source = Netlist("chain")
+        inputs = [aig_source.add_input(f"i{i}") for i in range(16)]
+        current = inputs[0]
+        for gate_input in inputs[1:]:
+            current = aig_source.add_gate(GateKind.AND2, (current, gate_input))
+        aig_source.mark_output(current)
+        aig = netlist_to_aig(aig_source)
+        balanced = balance_aig(aig)
+        assert aig.depth() == 15
+        assert balanced.depth() <= 5
+
+    def test_balancing_preserves_function(self):
+        netlist = Netlist("balance_fn")
+        inputs = [netlist.add_input(f"i{i}") for i in range(9)]
+        current = inputs[0]
+        for gate_input in inputs[1:]:
+            current = netlist.add_gate(GateKind.AND2, (current, gate_input))
+        netlist.mark_output(current)
+        aig = netlist_to_aig(netlist)
+        balanced = balance_aig(aig)
+        for _ in range(20):
+            bits = [_RNG.randint(0, 1) for _ in inputs]
+            original = aig.evaluate(dict(zip(aig.inputs(), bits)))
+            rebuilt = balanced.evaluate(dict(zip(balanced.inputs(), bits)))
+            for a_out, b_out in zip(aig.outputs(), balanced.outputs()):
+                assert original[a_out] == rebuilt[b_out]
+
+    def test_balancing_never_increases_depth(self):
+        builder = GraphBuilder("no_worse")
+        x = builder.param("x", 8)
+        y = builder.param("y", 8)
+        builder.output(builder.add(builder.mul(x, y), x))
+        aig = netlist_to_aig(lower_graph(builder.graph).netlist)
+        assert balance_aig(aig).depth() <= aig.depth()

@@ -1,0 +1,149 @@
+"""Tests for the benchmark design generators: structure and functionality."""
+
+import pytest
+
+from repro.designs import (
+    build_binary_divide,
+    build_crc32,
+    build_fpexp32,
+    build_float32_fast_rsqrt,
+    build_hsv2rgb,
+    build_internal_datapath,
+    build_ml_core_datapath0_all,
+    build_ml_core_datapath0_opcode,
+    build_ml_core_datapath1,
+    build_ml_core_datapath2,
+    build_rrot,
+    build_sha256,
+    build_video_core_datapath,
+    table1_suite,
+)
+from repro.designs.suite import ablation_design, suite_by_name
+from repro.ir.analysis import graph_statistics
+from repro.ir.interpreter import evaluate_outputs
+from repro.ir.verify import verify_graph
+from repro.synth.estimator import CharacterizedOperatorModel
+
+
+class TestSuiteStructure:
+    def test_seventeen_cases_in_paper_order(self):
+        suite = table1_suite()
+        assert len(suite) == 17
+        assert suite[0].name == "ML-core datapath1"
+        assert suite[-1].name == "fpexp 32"
+        assert suite[15].name == "sha256"
+
+    def test_all_designs_verify(self):
+        for case in table1_suite():
+            verify_graph(case.build())
+
+    def test_clock_periods_are_2500_or_5000(self):
+        for case in table1_suite():
+            assert case.clock_period_ps in (2500.0, 5000.0)
+
+    def test_clock_covers_slowest_operation(self):
+        model = CharacterizedOperatorModel()
+        for case in table1_suite():
+            graph = case.build()
+            worst = max(model.node_delay(node) for node in graph.nodes())
+            assert worst <= case.clock_period_ps - 150.0, case.name
+
+    def test_build_renames_graph_to_row_name(self):
+        case = suite_by_name("crc32")
+        assert case.build().name == "crc32"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            suite_by_name("does-not-exist")
+
+    def test_ablation_design(self):
+        graph, clock = ablation_design()
+        verify_graph(graph)
+        assert clock == 2500.0
+
+    def test_largest_design_is_sha256(self):
+        sizes = {case.name: graph_statistics(case.build()).num_operations
+                 for case in table1_suite()}
+        assert max(sizes, key=sizes.get) == "sha256"
+
+
+class TestFunctionalCorrectness:
+    def test_crc32_matches_reference(self):
+        def crc32_reference(crc, data, steps, poly=0xEDB88320):
+            for i in range(steps):
+                bit = (crc ^ (data >> i)) & 1
+                crc >>= 1
+                if bit:
+                    crc ^= poly
+            return crc
+
+        graph = build_crc32(num_steps=8)
+        for crc, data in ((0xFFFFFFFF, 0xA5), (0x12345678, 0x00), (0, 0xFF)):
+            outputs = evaluate_outputs(graph, {"crc_in": crc, "data_in": data})
+            assert outputs["crc_out"] == crc32_reference(crc, data, 8)
+
+    def test_binary_divide_matches_python(self):
+        graph = build_binary_divide(width=8)
+        for dividend, divisor in ((200, 7), (255, 16), (13, 200), (99, 1)):
+            outputs = evaluate_outputs(graph, {"dividend": dividend,
+                                               "divisor": divisor})
+            assert outputs["quotient"] == dividend // divisor
+            assert outputs["remainder"] == dividend % divisor
+
+    def test_rrot_first_round_is_rotate_xor(self):
+        graph = build_rrot(width=32, num_rounds=1)
+        value, mix, amount = 0x80000001, 0x0F0F0F0F, 4
+        rotated = ((value >> amount) | (value << (32 - amount))) & 0xFFFFFFFF
+        outputs = evaluate_outputs(graph, {"value": value, "mix": mix,
+                                           "amount": amount})
+        assert outputs["rrot_out"] == rotated ^ mix
+
+    def test_sha256_deterministic_and_width_correct(self):
+        graph = build_sha256(num_rounds=4)
+        inputs = {name: index + 1 for index, name in
+                  enumerate("abcdefgh")}
+        inputs.update({f"w{i}": 0x11111111 * (i + 1) for i in range(4)})
+        first = evaluate_outputs(graph, inputs)
+        second = evaluate_outputs(graph, inputs)
+        assert first == second
+        assert all(0 <= value < (1 << 32) for value in first.values())
+
+    def test_ml_core_datapath1_is_dot_product(self):
+        graph = build_ml_core_datapath1(lanes=4, width=16)
+        inputs = {f"act{i}": i + 1 for i in range(4)}
+        inputs.update({f"wgt{i}": 10 * (i + 1) for i in range(4)})
+        inputs["bias"] = 5
+        outputs = evaluate_outputs(graph, inputs)
+        expected = sum((i + 1) * 10 * (i + 1) for i in range(4)) + 5
+        assert outputs["out"] == expected & 0xFFFF
+
+
+class TestParameterisation:
+    def test_crc32_size_scales_with_steps(self):
+        assert len(build_crc32(num_steps=16)) > len(build_crc32(num_steps=4))
+
+    def test_sha256_size_scales_with_rounds(self):
+        assert len(build_sha256(num_rounds=8)) > len(build_sha256(num_rounds=2))
+
+    def test_internal_datapath_scales_with_rounds(self):
+        assert len(build_internal_datapath(num_rounds=16)) > \
+            len(build_internal_datapath(num_rounds=4))
+
+    def test_opcode_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            build_ml_core_datapath0_opcode(7)
+
+    def test_all_generators_produce_verifiable_graphs(self):
+        generators = [
+            lambda: build_crc32(4), lambda: build_sha256(2),
+            lambda: build_rrot(16, 2), lambda: build_binary_divide(4),
+            lambda: build_float32_fast_rsqrt(newton_iterations=1),
+            lambda: build_fpexp32(polynomial_degree=2, num_segments=1),
+            build_hsv2rgb, lambda: build_video_core_datapath(taps=3),
+            lambda: build_internal_datapath(num_rounds=2),
+            build_ml_core_datapath0_all,
+            lambda: build_ml_core_datapath1(lanes=2),
+            lambda: build_ml_core_datapath2(lanes=2, depth=1),
+        ] + [lambda op=op: build_ml_core_datapath0_opcode(op) for op in range(5)]
+        for generator in generators:
+            verify_graph(generator())

@@ -1,0 +1,22 @@
+"""Tests for the experiment CLI runner."""
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ValueError, match="unknown experiment"):
+        run_experiment("table7")
+
+
+def test_quick_fig8_report_contains_correlation():
+    report = run_experiment("fig8", quick=True)
+    assert "Pearson correlation" in report
+    assert "ps/level" in report
+
+
+def test_quick_fig5_report_lists_both_strategies():
+    report = run_experiment("fig5", quick=True)
+    assert "fanout" in report
+    assert "delay" in report

@@ -1,0 +1,88 @@
+"""Tests for graph analyses (topological order, reachability, statistics)."""
+
+import pytest
+
+from repro.ir.analysis import (
+    graph_statistics,
+    is_connected,
+    longest_path_lengths,
+    reachable_from,
+    reaching_to,
+    reverse_topological_order,
+    topological_order,
+)
+from repro.ir.builder import GraphBuilder
+
+
+class TestTopologicalOrder:
+    def test_operands_come_first(self, adder_chain_graph):
+        order = topological_order(adder_chain_graph)
+        position = {nid: i for i, nid in enumerate(order)}
+        for node in adder_chain_graph.nodes():
+            for operand in node.operands:
+                assert position[operand] < position[node.node_id]
+
+    def test_covers_all_nodes(self, adder_chain_graph):
+        assert sorted(topological_order(adder_chain_graph)) == \
+            adder_chain_graph.node_ids()
+
+    def test_reverse_is_reversed(self, adder_chain_graph):
+        assert reverse_topological_order(adder_chain_graph) == \
+            list(reversed(topological_order(adder_chain_graph)))
+
+    def test_deterministic(self, diamond_graph):
+        assert topological_order(diamond_graph) == topological_order(diamond_graph)
+
+
+class TestReachability:
+    def test_reachable_from_source(self, diamond_graph):
+        base = next(n.node_id for n in diamond_graph.nodes() if n.name == "base")
+        join = next(n.node_id for n in diamond_graph.nodes() if n.name == "join")
+        assert join in reachable_from(diamond_graph, base)
+        assert base in reaching_to(diamond_graph, join)
+
+    def test_not_connected_across_independent_params(self, diamond_graph):
+        params = [n.node_id for n in diamond_graph.parameters()]
+        assert not is_connected(diamond_graph, params[0], params[1])
+
+    def test_self_is_connected(self, diamond_graph):
+        assert is_connected(diamond_graph, 0, 0)
+
+
+class TestStatistics:
+    def test_counts(self, adder_chain_graph):
+        stats = graph_statistics(adder_chain_graph)
+        assert stats.num_nodes == len(adder_chain_graph)
+        assert stats.num_params == 4
+        assert stats.num_outputs == 1
+        assert stats.num_operations == 4  # 3 adds + 1 mul
+        assert stats.kind_histogram["add"] == 3
+        assert stats.kind_histogram["mul"] == 1
+
+    def test_total_bits_excludes_sources_and_outputs(self, adder_chain_graph):
+        stats = graph_statistics(adder_chain_graph)
+        assert stats.total_bits == 4 * 16
+
+    def test_depth(self, adder_chain_graph):
+        stats = graph_statistics(adder_chain_graph)
+        assert stats.max_depth == 5  # param -> s1 -> s2 -> s3 -> product -> out
+
+    def test_longest_path_lengths_monotone(self, adder_chain_graph):
+        depth = longest_path_lengths(adder_chain_graph)
+        for node in adder_chain_graph.nodes():
+            for operand in node.operands:
+                assert depth[node.node_id] > depth[operand]
+
+
+class TestCycleDetection:
+    def test_cycle_raises(self):
+        builder = GraphBuilder()
+        x = builder.param("x", 4)
+        a = builder.not_(x)
+        # Force a cycle by mutating the node's operand tuple (not possible
+        # through the public API, hence the direct attribute poke).
+        node = builder.graph.node(x.node_id)
+        node.operands = (a.node_id,)
+        builder.graph._users[a.node_id].append(x.node_id)
+        with pytest.raises(ValueError):
+            topological_order(builder.graph)

@@ -1,0 +1,87 @@
+"""Tests for the GraphBuilder convenience API."""
+
+import pytest
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.ops import OpKind
+from repro.ir.verify import verify_graph
+
+
+class TestBasicOps:
+    def test_param_and_output(self):
+        builder = GraphBuilder("t")
+        x = builder.param("x", 8)
+        builder.output(x, name="out")
+        verify_graph(builder.graph)
+        assert builder.graph.node(x.node_id).kind is OpKind.PARAM
+
+    def test_constant_masks_to_width(self):
+        builder = GraphBuilder()
+        c = builder.constant(0x1FF, 8)
+        assert c.attrs["value"] == 0xFF
+
+    def test_arithmetic_chain(self):
+        builder = GraphBuilder()
+        x = builder.param("x", 16)
+        y = builder.param("y", 16)
+        result = builder.mul(builder.add(x, y), builder.sub(x, y))
+        assert result.width == 16
+        verify_graph(builder.graph)
+
+    def test_select_and_compare(self):
+        builder = GraphBuilder()
+        a = builder.param("a", 8)
+        b = builder.param("b", 8)
+        picked = builder.select(builder.ult(a, b), a, b)
+        assert picked.width == 8
+
+    def test_bit_manipulation(self):
+        builder = GraphBuilder()
+        a = builder.param("a", 16)
+        low = builder.bit_slice(a, 0, 8)
+        high = builder.bit_slice(a, 8, 8)
+        rebuilt = builder.concat(high, low)
+        assert low.width == 8 and high.width == 8 and rebuilt.width == 16
+        verify_graph(builder.graph)
+
+    def test_constant_shift_helpers(self):
+        builder = GraphBuilder()
+        a = builder.param("a", 32)
+        shifted = builder.shrl_const(a, 3)
+        rotated = builder.rotr_const(a, 7)
+        assert shifted.width == 32 and rotated.width == 32
+        verify_graph(builder.graph)
+
+
+class TestTreeHelpers:
+    def test_add_tree_sums_everything(self):
+        builder = GraphBuilder()
+        operands = [builder.param(f"p{i}", 8) for i in range(7)]
+        total = builder.add_tree(operands)
+        assert total.width == 8
+        verify_graph(builder.graph)
+        # A balanced tree over 7 operands needs exactly 6 adders.
+        adds = [n for n in builder.graph.nodes() if n.kind is OpKind.ADD]
+        assert len(adds) == 6
+
+    def test_xor_tree(self):
+        builder = GraphBuilder()
+        operands = [builder.param(f"p{i}", 4) for i in range(5)]
+        builder.xor_tree(operands)
+        xors = [n for n in builder.graph.nodes() if n.kind is OpKind.XOR]
+        assert len(xors) == 4
+
+    def test_empty_tree_rejected(self):
+        builder = GraphBuilder()
+        with pytest.raises(ValueError):
+            builder.add_tree([])
+
+
+class TestNodeLikeArguments:
+    def test_accepts_ids_and_nodes(self):
+        builder = GraphBuilder()
+        x = builder.param("x", 8)
+        y = builder.param("y", 8)
+        by_node = builder.add(x, y)
+        by_id = builder.add(x.node_id, y.node_id)
+        assert by_node.operands == by_id.operands

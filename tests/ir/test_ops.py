@@ -1,0 +1,77 @@
+"""Tests for opcode signatures and result-width inference."""
+
+import pytest
+
+from repro.ir.ops import OpKind, infer_result_width, signature_of
+
+
+class TestSignatures:
+    def test_every_opcode_has_a_signature(self):
+        for kind in OpKind:
+            signature = signature_of(kind)
+            assert signature.kind is kind
+            assert signature.min_operands >= 0
+
+    def test_binary_arithmetic_requires_two_operands(self):
+        with pytest.raises(ValueError):
+            infer_result_width(OpKind.ADD, [8])
+        with pytest.raises(ValueError):
+            infer_result_width(OpKind.ADD, [8, 8, 8])
+
+    def test_variadic_logic_accepts_many_operands(self):
+        assert infer_result_width(OpKind.XOR, [8, 8, 8, 8]) == 8
+
+    def test_param_requires_explicit_width(self):
+        with pytest.raises(ValueError):
+            infer_result_width(OpKind.PARAM, [])
+        assert infer_result_width(OpKind.PARAM, [], {"width": 12}) == 12
+
+
+class TestWidthInference:
+    def test_add_takes_max_operand_width(self):
+        assert infer_result_width(OpKind.ADD, [8, 16]) == 16
+
+    def test_comparison_is_one_bit(self):
+        for kind in (OpKind.EQ, OpKind.NE, OpKind.ULT, OpKind.UGE, OpKind.SLT):
+            assert infer_result_width(kind, [32, 32]) == 1
+
+    def test_concat_sums_widths(self):
+        assert infer_result_width(OpKind.CONCAT, [8, 4, 4]) == 16
+
+    def test_select_takes_max_of_data_operands(self):
+        assert infer_result_width(OpKind.SEL, [1, 8, 16]) == 16
+
+    def test_mul_honours_explicit_width(self):
+        assert infer_result_width(OpKind.MUL, [16, 16]) == 16
+        assert infer_result_width(OpKind.MUL, [16, 16], {"width": 32}) == 32
+
+    def test_popcount_width_is_logarithmic(self):
+        assert infer_result_width(OpKind.POPCOUNT, [8]) == 4
+        assert infer_result_width(OpKind.POPCOUNT, [32]) == 6
+
+    def test_reduction_is_one_bit(self):
+        assert infer_result_width(OpKind.XOR_REDUCE, [32]) == 1
+
+
+class TestOpKindProperties:
+    def test_sources(self):
+        assert OpKind.PARAM.is_source
+        assert OpKind.CONSTANT.is_source
+        assert not OpKind.ADD.is_source
+
+    def test_free_operations_are_wiring(self):
+        for kind in (OpKind.CONCAT, OpKind.BIT_SLICE, OpKind.ZERO_EXT,
+                     OpKind.SIGN_EXT, OpKind.IDENTITY, OpKind.OUTPUT):
+            assert kind.is_free
+        for kind in (OpKind.ADD, OpKind.MUL, OpKind.SEL, OpKind.XOR):
+            assert not kind.is_free
+
+    def test_commutativity(self):
+        assert OpKind.ADD.is_commutative
+        assert OpKind.XOR.is_commutative
+        assert not OpKind.SUB.is_commutative
+        assert not OpKind.SHL.is_commutative
+
+    def test_comparisons(self):
+        assert OpKind.ULT.is_comparison
+        assert not OpKind.ADD.is_comparison

@@ -1,0 +1,67 @@
+"""Tests for the textual IR format."""
+
+import pytest
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.ops import OpKind
+from repro.ir.textual import graph_from_text, graph_to_text
+
+
+def _build_rich_graph():
+    builder = GraphBuilder("rich")
+    x = builder.param("x", 16)
+    y = builder.param("y", 16)
+    c = builder.constant(42, 16, name="c42")
+    s = builder.add(x, y)
+    sliced = builder.bit_slice(s, 4, 8)
+    selected = builder.select(builder.ult(sliced, builder.bit_slice(c, 0, 8)),
+                              sliced, builder.bit_slice(c, 0, 8))
+    builder.output(selected, name="result")
+    return builder.graph
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_structure(self):
+        original = _build_rich_graph()
+        text = graph_to_text(original)
+        parsed = graph_from_text(text)
+        assert len(parsed) == len(original)
+        assert parsed.name == original.name
+        for a, b in zip(original.nodes(), parsed.nodes()):
+            assert a.kind is b.kind
+            assert a.width == b.width
+            assert len(a.operands) == len(b.operands)
+
+    def test_round_trip_preserves_attributes(self):
+        original = _build_rich_graph()
+        parsed = graph_from_text(graph_to_text(original))
+        constants = [n for n in parsed.nodes() if n.kind is OpKind.CONSTANT]
+        assert any(n.attrs.get("value") == 42 for n in constants)
+        slices = [n for n in parsed.nodes() if n.kind is OpKind.BIT_SLICE]
+        assert {n.attrs.get("start") for n in slices} == {4, 0}
+
+    def test_round_trip_is_idempotent(self):
+        original = _build_rich_graph()
+        once = graph_to_text(original)
+        twice = graph_to_text(graph_from_text(once))
+        assert once == twice
+
+
+class TestParsing:
+    def test_missing_design_line_rejected(self):
+        with pytest.raises(ValueError):
+            graph_from_text("n0 = param() : 8")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            graph_from_text("design d\nthis is not a node")
+
+    def test_forward_reference_rejected(self):
+        text = "design d\nn0 = not(n1) : 8\nn1 = param() : 8"
+        with pytest.raises(ValueError):
+            graph_from_text(text)
+
+    def test_named_nodes_keep_names(self):
+        text = "design d\nn0 = param() : 8  # my_input\nn1 = not(n0) : 8"
+        parsed = graph_from_text(text)
+        assert parsed.node(0).name == "my_input"

@@ -1,0 +1,62 @@
+"""Tests for structural IR verification."""
+
+import pytest
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.node import Node
+from repro.ir.ops import OpKind
+from repro.ir.verify import IRVerificationError, verify_graph
+
+
+def test_valid_graph_passes(adder_chain_graph):
+    verify_graph(adder_chain_graph)
+
+
+def test_constant_without_value_rejected():
+    builder = GraphBuilder()
+    node = builder.constant(5, 8)
+    del builder.graph.node(node.node_id).attrs["value"]
+    with pytest.raises(IRVerificationError, match="without a value"):
+        verify_graph(builder.graph)
+
+
+def test_constant_too_wide_rejected():
+    builder = GraphBuilder()
+    node = builder.constant(5, 8)
+    builder.graph.node(node.node_id).attrs["value"] = 512
+    with pytest.raises(IRVerificationError, match="does not fit"):
+        verify_graph(builder.graph)
+
+
+def test_slice_out_of_range_rejected():
+    builder = GraphBuilder()
+    x = builder.param("x", 8)
+    sliced = builder.bit_slice(x, 0, 4)
+    builder.graph.node(sliced.node_id).attrs["start"] = 6
+    with pytest.raises(IRVerificationError, match="out of range"):
+        verify_graph(builder.graph)
+
+
+def test_operand_count_violation_rejected():
+    builder = GraphBuilder()
+    x = builder.param("x", 8)
+    y = builder.param("y", 8)
+    added = builder.add(x, y)
+    builder.graph.node(added.node_id).operands = (x.node_id,)
+    with pytest.raises(IRVerificationError, match="at least 2"):
+        verify_graph(builder.graph)
+
+
+def test_non_positive_width_rejected_at_construction():
+    with pytest.raises(ValueError):
+        Node(0, OpKind.PARAM, (), width=0)
+
+
+def test_cycle_rejected():
+    builder = GraphBuilder()
+    x = builder.param("x", 4)
+    a = builder.not_(x)
+    builder.graph.node(x.node_id).operands = (a.node_id,)
+    builder.graph._users[a.node_id].append(x.node_id)
+    with pytest.raises(IRVerificationError, match="cycle"):
+        verify_graph(builder.graph)

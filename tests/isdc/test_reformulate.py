@@ -1,0 +1,102 @@
+"""Tests for delay re-propagation (Algorithm 2) and the Floyd-Warshall variant."""
+
+import numpy as np
+import pytest
+
+from repro.isdc.delay_matrix import DelayMatrix
+from repro.isdc.reformulate import floyd_warshall_refine, propagate_delays
+from repro.sdc.delays import NOT_CONNECTED, node_delays
+from repro.tech.delay_model import OperatorModel
+
+
+def _fresh_matrix(graph):
+    delays = node_delays(graph, OperatorModel(pessimism=1.0))
+    return DelayMatrix.from_graph(graph, delays)
+
+
+class TestPropagateDelays:
+    def test_no_feedback_is_a_fixpoint(self, adder_chain_graph):
+        matrix = _fresh_matrix(adder_chain_graph)
+        baseline = matrix.matrix.copy()
+        propagate_delays(matrix)
+        # Without any feedback the naive estimates are already consistent, so
+        # nothing may increase and entries only change by tightening.
+        assert np.all((matrix.matrix <= baseline + 1e-9)
+                      | (baseline == NOT_CONNECTED))
+
+    def test_feedback_propagates_to_longer_paths(self, adder_chain_graph):
+        matrix = _fresh_matrix(adder_chain_graph)
+        names = {n.name: n.node_id for n in adder_chain_graph.nodes()}
+        d_s3 = matrix.individual_delay(names["s3"])
+        before_long = matrix.get(names["s1"], names["s3"])
+        # Feedback: the s1->s2 pair measured at 100 ps.
+        matrix.update_with_subgraph([names["s1"], names["s2"]], 100.0)
+        propagate_delays(matrix)
+        after_long = matrix.get(names["s1"], names["s3"])
+        assert after_long == pytest.approx(100.0 + d_s3)
+        assert after_long < before_long
+
+    def test_propagation_reaches_downstream_users(self, adder_chain_graph):
+        matrix = _fresh_matrix(adder_chain_graph)
+        names = {n.name: n.node_id for n in adder_chain_graph.nodes()}
+        matrix.update_with_subgraph([names["s1"], names["s2"], names["s3"]], 150.0)
+        propagate_delays(matrix)
+        product_delay = matrix.individual_delay(names["product"])
+        assert matrix.get(names["s1"], names["product"]) == \
+            pytest.approx(150.0 + product_delay)
+
+    def test_never_connects_unconnected_pairs(self, diamond_graph):
+        matrix = _fresh_matrix(diamond_graph)
+        params = [p.node_id for p in diamond_graph.parameters()]
+        propagate_delays(matrix)
+        assert not matrix.is_connected(params[0], params[1])
+
+    def test_diagonal_untouched(self, adder_chain_graph):
+        matrix = _fresh_matrix(adder_chain_graph)
+        diagonal = matrix.matrix.diagonal().copy()
+        names = {n.name: n.node_id for n in adder_chain_graph.nodes()}
+        matrix.update_with_subgraph([names["s1"], names["s2"]], 100.0)
+        propagate_delays(matrix)
+        # The s1/s2 diagonal entries were lowered by the *feedback* itself,
+        # but propagation must not lower any diagonal further.
+        refreshed = matrix.matrix.diagonal()
+        for index in range(len(diagonal)):
+            assert refreshed[index] <= diagonal[index] + 1e-9
+
+
+class TestFloydWarshall:
+    def test_refine_tightens_through_intermediates(self, adder_chain_graph):
+        matrix = _fresh_matrix(adder_chain_graph)
+        names = {n.name: n.node_id for n in adder_chain_graph.nodes()}
+        d_s2 = matrix.individual_delay(names["s2"])
+        d_s3 = matrix.individual_delay(names["s3"])
+        # Feedback above the individual delays, so only pair estimates change.
+        feedback = d_s2 + 100.0
+        matrix.update_with_subgraph([names["s1"], names["s2"]], feedback)
+        changed = floyd_warshall_refine(matrix)
+        assert changed > 0
+        # Relaxation through s2: D[s1][s2] + D[s2][s3] - d(s2).
+        assert matrix.get(names["s1"], names["s3"]) <= \
+            feedback + (d_s2 + d_s3) - d_s2 + 1e-9
+
+    def test_refine_is_idempotent(self, adder_chain_graph):
+        matrix = _fresh_matrix(adder_chain_graph)
+        names = {n.name: n.node_id for n in adder_chain_graph.nodes()}
+        matrix.update_with_subgraph([names["s1"], names["s2"]], 100.0)
+        floyd_warshall_refine(matrix)
+        assert floyd_warshall_refine(matrix) == 0
+
+    def test_both_reformulations_only_tighten(self, adder_chain_graph):
+        """Alg. 2 and Floyd-Warshall are different heuristics; neither may
+        ever loosen an estimate beyond the naive initialisation."""
+        names = {n.name: n.node_id for n in adder_chain_graph.nodes()}
+        baseline = _fresh_matrix(adder_chain_graph).matrix.copy()
+        quadratic = _fresh_matrix(adder_chain_graph)
+        cubic = _fresh_matrix(adder_chain_graph)
+        for target in (quadratic, cubic):
+            target.update_with_subgraph([names["s1"], names["s2"]], 100.0)
+        propagate_delays(quadratic)
+        floyd_warshall_refine(cubic)
+        connected = baseline != NOT_CONNECTED
+        assert np.all(quadratic.matrix[connected] <= baseline[connected] + 1e-6)
+        assert np.all(cubic.matrix[connected] <= baseline[connected] + 1e-6)

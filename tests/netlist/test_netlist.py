@@ -1,0 +1,116 @@
+"""Tests for the Netlist container."""
+
+import pytest
+
+from repro.netlist.gates import GateKind
+from repro.netlist.netlist import Netlist
+
+
+@pytest.fixture
+def xor_netlist():
+    """XOR built from NAND gates, for structural tests."""
+    netlist = Netlist("xor_from_nands")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    nand_ab = netlist.add_gate(GateKind.NAND2, (a, b))
+    nand_a = netlist.add_gate(GateKind.NAND2, (a, nand_ab))
+    nand_b = netlist.add_gate(GateKind.NAND2, (b, nand_ab))
+    result = netlist.add_gate(GateKind.NAND2, (nand_a, nand_b))
+    netlist.mark_output(result)
+    return netlist, (a, b, result)
+
+
+class TestConstruction:
+    def test_counts(self, xor_netlist):
+        netlist, _ = xor_netlist
+        assert len(netlist) == 6
+        assert netlist.num_logic_gates() == 4
+        assert len(netlist.inputs()) == 2
+        assert len(netlist.outputs()) == 1
+
+    def test_wrong_input_count_rejected(self):
+        netlist = Netlist()
+        a = netlist.add_input()
+        with pytest.raises(ValueError):
+            netlist.add_gate(GateKind.AND2, (a,))
+
+    def test_unknown_driver_rejected(self):
+        netlist = Netlist()
+        with pytest.raises(KeyError):
+            netlist.add_gate(GateKind.INV, (7,))
+
+    def test_mark_output_unknown_gate_rejected(self):
+        netlist = Netlist()
+        with pytest.raises(KeyError):
+            netlist.mark_output(3)
+
+    def test_mark_output_adds_one_port_per_call(self, xor_netlist):
+        netlist, (_, _, result) = xor_netlist
+        netlist.mark_output(result)
+        assert netlist.outputs().count(result) == 2
+
+
+class TestAnalysis:
+    def test_topological_order_respects_edges(self, xor_netlist):
+        netlist, _ = xor_netlist
+        order = netlist.topological_order()
+        position = {gid: i for i, gid in enumerate(order)}
+        for gate in netlist.gates():
+            for driver in gate.inputs:
+                assert position[driver] < position[gate.gate_id]
+
+    def test_fanout(self, xor_netlist):
+        netlist, (a, _, _) = xor_netlist
+        assert len(netlist.fanout(a)) == 2
+
+    def test_area_positive(self, xor_netlist, library):
+        netlist, _ = xor_netlist
+        assert netlist.area(library) == pytest.approx(4 * library.area("nand2"))
+
+    def test_copy_is_deep(self, xor_netlist):
+        netlist, _ = xor_netlist
+        clone = netlist.copy()
+        clone.add_input("extra")
+        assert len(clone) == len(netlist) + 1
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("a,b", [(0, 0), (0, 1), (1, 0), (1, 1)])
+    def test_xor_truth_table(self, xor_netlist, a, b):
+        netlist, (in_a, in_b, result) = xor_netlist
+        values = netlist.simulate({in_a: a, in_b: b})
+        assert values[result] == a ^ b
+
+    def test_every_gate_function(self):
+        netlist = Netlist()
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        c = netlist.add_input("c")
+        gates = {
+            GateKind.INV: netlist.add_gate(GateKind.INV, (a,)),
+            GateKind.BUF: netlist.add_gate(GateKind.BUF, (a,)),
+            GateKind.AND2: netlist.add_gate(GateKind.AND2, (a, b)),
+            GateKind.OR2: netlist.add_gate(GateKind.OR2, (a, b)),
+            GateKind.NAND2: netlist.add_gate(GateKind.NAND2, (a, b)),
+            GateKind.NOR2: netlist.add_gate(GateKind.NOR2, (a, b)),
+            GateKind.XOR2: netlist.add_gate(GateKind.XOR2, (a, b)),
+            GateKind.XNOR2: netlist.add_gate(GateKind.XNOR2, (a, b)),
+            GateKind.ANDN2: netlist.add_gate(GateKind.ANDN2, (a, b)),
+            GateKind.MUX2: netlist.add_gate(GateKind.MUX2, (a, b, c)),
+            GateKind.MAJ3: netlist.add_gate(GateKind.MAJ3, (a, b, c)),
+        }
+        for va in (0, 1):
+            for vb in (0, 1):
+                for vc in (0, 1):
+                    values = netlist.simulate({a: va, b: vb, c: vc})
+                    assert values[gates[GateKind.INV]] == 1 - va
+                    assert values[gates[GateKind.BUF]] == va
+                    assert values[gates[GateKind.AND2]] == (va & vb)
+                    assert values[gates[GateKind.OR2]] == (va | vb)
+                    assert values[gates[GateKind.NAND2]] == 1 - (va & vb)
+                    assert values[gates[GateKind.NOR2]] == 1 - (va | vb)
+                    assert values[gates[GateKind.XOR2]] == va ^ vb
+                    assert values[gates[GateKind.XNOR2]] == 1 - (va ^ vb)
+                    assert values[gates[GateKind.ANDN2]] == va & (1 - vb)
+                    assert values[gates[GateKind.MUX2]] == (vb if va else vc)
+                    assert values[gates[GateKind.MAJ3]] == (1 if va + vb + vc >= 2 else 0)

@@ -1,0 +1,96 @@
+"""Tests for static timing analysis."""
+
+import pytest
+
+from repro.ir.builder import GraphBuilder
+from repro.netlist.gates import GateKind
+from repro.netlist.lowering import lower_graph
+from repro.netlist.netlist import Netlist
+from repro.netlist.sta import StaticTimingAnalysis
+
+
+@pytest.fixture
+def sta(library):
+    return StaticTimingAnalysis(library)
+
+
+class TestArrivalTimes:
+    def test_chain_delay_adds_up(self, sta, library):
+        netlist = Netlist("chain")
+        a = netlist.add_input("a")
+        g1 = netlist.add_gate(GateKind.INV, (a,))
+        g2 = netlist.add_gate(GateKind.INV, (g1,))
+        g3 = netlist.add_gate(GateKind.INV, (g2,))
+        netlist.mark_output(g3)
+        result = sta.run(netlist)
+        assert result.critical_path_delay_ps == pytest.approx(3 * library.delay("inv"))
+        assert result.critical_path == (a, g1, g2, g3)
+
+    def test_worst_path_selected(self, sta, library):
+        netlist = Netlist("branch")
+        a = netlist.add_input("a")
+        slow = netlist.add_gate(GateKind.XOR2, (a, a))
+        fast = netlist.add_gate(GateKind.INV, (a,))
+        join = netlist.add_gate(GateKind.AND2, (slow, fast))
+        netlist.mark_output(join)
+        result = sta.run(netlist)
+        expected = library.delay("xor2") + library.delay("and2")
+        assert result.critical_path_delay_ps == pytest.approx(expected)
+        assert slow in result.critical_path
+
+    def test_inputs_and_ties_have_zero_arrival(self, sta):
+        netlist = Netlist("sources")
+        a = netlist.add_input("a")
+        tie = netlist.add_constant(1)
+        result = sta.run(netlist, endpoints=[a, tie])
+        assert result.critical_path_delay_ps == 0.0
+
+    def test_endpoints_restrict_analysis(self, sta, library):
+        netlist = Netlist("endpoints")
+        a = netlist.add_input("a")
+        g1 = netlist.add_gate(GateKind.INV, (a,))
+        g2 = netlist.add_gate(GateKind.XOR2, (g1, a))
+        netlist.mark_output(g2)
+        restricted = sta.run(netlist, endpoints=[g1])
+        assert restricted.critical_path_delay_ps == pytest.approx(library.delay("inv"))
+
+    def test_empty_netlist(self, sta):
+        assert sta.run(Netlist("empty")).critical_path_delay_ps == 0.0
+
+    def test_path_delay_helper(self, sta, library):
+        netlist = Netlist("helper")
+        a = netlist.add_input("a")
+        g1 = netlist.add_gate(GateKind.MAJ3, (a, a, a))
+        assert sta.path_delay(netlist, [a, g1]) == pytest.approx(library.delay("maj3"))
+
+
+class TestLoweredDesignTiming:
+    def test_adder_delay_scales_with_width(self, sta):
+        def adder_delay(width):
+            builder = GraphBuilder(f"adder{width}")
+            x = builder.param("x", width)
+            y = builder.param("y", width)
+            builder.output(builder.add(x, y))
+            return sta.run(lower_graph(builder.graph).netlist).critical_path_delay_ps
+
+        assert adder_delay(8) < adder_delay(16) < adder_delay(32)
+
+    def test_chained_adders_are_subadditive(self, sta):
+        """The key physical effect ISDC exploits: carry chains overlap."""
+        builder = GraphBuilder("chained")
+        x = builder.param("x", 16)
+        y = builder.param("y", 16)
+        z = builder.param("z", 16)
+        s1 = builder.add(x, y)
+        s2 = builder.add(s1, z)
+        builder.output(s2)
+        chained = sta.run(lower_graph(builder.graph).netlist).critical_path_delay_ps
+
+        single = GraphBuilder("single")
+        a = single.param("a", 16)
+        b = single.param("b", 16)
+        single.output(single.add(a, b))
+        one = sta.run(lower_graph(single.graph).netlist).critical_path_delay_ps
+
+        assert chained < 2 * one
+        assert chained > one

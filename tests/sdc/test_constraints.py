@@ -1,0 +1,59 @@
+"""Tests for difference constraints and the constraint system."""
+
+from repro.sdc.constraints import ConstraintSystem, DifferenceConstraint, count_by_kind
+
+
+class TestDifferenceConstraint:
+    def test_satisfaction(self):
+        constraint = DifferenceConstraint(u=1, v=2, bound=-1)
+        assert constraint.is_satisfied({1: 0, 2: 2})
+        assert constraint.is_satisfied({1: 1, 2: 2})
+        assert not constraint.is_satisfied({1: 2, 2: 2})
+
+
+class TestConstraintSystem:
+    def test_add_and_deduplicate(self):
+        system = ConstraintSystem()
+        assert system.add(1, 2, 0)
+        assert not system.add(1, 2, 0)
+        assert system.add(1, 2, -1)  # different bound is a new constraint
+        assert len(system) == 2
+        assert system.variables == {1, 2}
+
+    def test_dependency_and_timing_helpers(self):
+        system = ConstraintSystem()
+        system.add_dependency(producer=0, consumer=1)
+        system.add_timing(source=0, sink=2, min_distance=3)
+        kinds = count_by_kind(system)
+        assert kinds == {"dependency": 1, "timing": 1}
+        dependency = system.constraints("dependency")[0]
+        assert dependency.u == 0 and dependency.v == 1 and dependency.bound == 0
+        timing = system.constraints("timing")[0]
+        assert timing.bound == -3
+
+    def test_violations(self):
+        system = ConstraintSystem()
+        system.add_dependency(0, 1)
+        system.add_timing(0, 1, 2)
+        good = {0: 0, 1: 2}
+        bad = {0: 0, 1: 1}
+        assert system.is_feasible_schedule(good)
+        assert not system.is_feasible_schedule(bad)
+        assert len(system.violations(bad)) == 1
+
+    def test_pins_checked_in_violations(self):
+        system = ConstraintSystem()
+        system.pin(5, 0)
+        assert not system.is_feasible_schedule({5: 1})
+        assert system.is_feasible_schedule({5: 0})
+
+    def test_merge(self):
+        first = ConstraintSystem()
+        first.add_dependency(0, 1)
+        second = ConstraintSystem()
+        second.pin(2, 0)
+        second.add_timing(1, 2, 1)
+        first.merge(second)
+        assert first.variables == {0, 1, 2}
+        assert first.pinned == {2: 0}
+        assert len(first) == 2

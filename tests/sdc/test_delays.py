@@ -1,0 +1,60 @@
+"""Tests for the all-pairs critical-path delay matrix."""
+
+import pytest
+
+from repro.sdc.delays import (
+    NOT_CONNECTED,
+    critical_path_between,
+    critical_path_matrix,
+    node_delays,
+)
+from repro.tech.delay_model import OperatorModel
+
+
+@pytest.fixture
+def diamond_matrix(diamond_graph):
+    model = OperatorModel(pessimism=1.0)
+    delays = node_delays(diamond_graph, model)
+    matrix, index_of = critical_path_matrix(diamond_graph, delays)
+    return diamond_graph, delays, matrix, index_of
+
+
+class TestCriticalPathMatrix:
+    def test_diagonal_holds_individual_delays(self, diamond_matrix):
+        graph, delays, matrix, index_of = diamond_matrix
+        for node in graph.nodes():
+            index = index_of[node.node_id]
+            assert matrix[index, index] == pytest.approx(delays[node.node_id])
+
+    def test_unconnected_pairs_marked(self, diamond_matrix):
+        graph, _, matrix, index_of = diamond_matrix
+        params = [p.node_id for p in graph.parameters()]
+        assert matrix[index_of[params[0]], index_of[params[1]]] == NOT_CONNECTED
+
+    def test_matrix_matches_explicit_path_search(self, diamond_matrix):
+        graph, delays, matrix, index_of = diamond_matrix
+        names = {n.name: n.node_id for n in graph.nodes()}
+        expected, path = critical_path_between(graph, delays, names["base"],
+                                               names["join"])
+        assert matrix[index_of[names["base"]], index_of[names["join"]]] == \
+            pytest.approx(expected)
+        assert path[0] == names["base"] and path[-1] == names["join"]
+
+    def test_takes_worst_of_parallel_branches(self, diamond_matrix):
+        graph, delays, matrix, index_of = diamond_matrix
+        names = {n.name: n.node_id for n in graph.nodes()}
+        through_right = (delays[names["base"]] + delays[names["right"]]
+                         + delays[names["join"]])
+        assert matrix[index_of[names["base"]], index_of[names["join"]]] == \
+            pytest.approx(through_right)
+
+    def test_downstream_only(self, diamond_matrix):
+        graph, _, matrix, index_of = diamond_matrix
+        names = {n.name: n.node_id for n in graph.nodes()}
+        assert matrix[index_of[names["join"]], index_of[names["base"]]] == NOT_CONNECTED
+
+    def test_unreachable_pair_in_path_search(self, diamond_graph):
+        delays = node_delays(diamond_graph, OperatorModel())
+        params = [p.node_id for p in diamond_graph.parameters()]
+        delay, path = critical_path_between(diamond_graph, delays, params[0], params[1])
+        assert delay == NOT_CONNECTED and path == []

@@ -1,0 +1,85 @@
+"""Tests for pipeline register counting and slack reporting."""
+
+import pytest
+
+from repro.sdc.pipeline import PipelineAnalyzer, count_pipeline_registers
+from repro.sdc.scheduler import Schedule, SdcScheduler
+from repro.tech.delay_model import OperatorModel
+
+
+def _manual_schedule(graph, assignment, clock=2500.0):
+    return Schedule(graph=graph, clock_period_ps=clock, stages=assignment)
+
+
+class TestRegisterCounting:
+    def test_single_stage_counts_only_output_flops(self, adder_chain_graph):
+        stages = {nid: 0 for nid in adder_chain_graph.node_ids()}
+        schedule = _manual_schedule(adder_chain_graph, stages)
+        total, per_boundary = count_pipeline_registers(schedule)
+        # Only the OUTPUT node's 16-bit flop at the pipeline exit.
+        assert total == 16
+        assert per_boundary == []
+
+    def test_boundary_crossing_counts_width(self, diamond_graph):
+        names = {n.name: n.node_id for n in diamond_graph.nodes()}
+        stages = {nid: 0 for nid in diamond_graph.node_ids()}
+        stages[names["join"]] = 1
+        output = diamond_graph.users_of(names["join"])[0]
+        stages[output] = 1
+        schedule = _manual_schedule(diamond_graph, stages)
+        total, per_boundary = count_pipeline_registers(schedule)
+        # left (8b) and right (8b) cross the boundary, plus the 8-bit output flop.
+        assert per_boundary == [16]
+        assert total == 16 + 8
+
+    def test_multi_stage_lifetime_counts_every_boundary(self, adder_chain_graph):
+        names = {n.name: n.node_id for n in adder_chain_graph.nodes()}
+        stages = {nid: 0 for nid in adder_chain_graph.node_ids()}
+        stages[names["product"]] = 2
+        output = adder_chain_graph.users_of(names["product"])[0]
+        stages[output] = 2
+        schedule = _manual_schedule(adder_chain_graph, stages)
+        total, per_boundary = count_pipeline_registers(schedule)
+        # x (16b) and s3 (16b) must survive to stage 2: 2 boundaries each.
+        assert len(per_boundary) == 2
+        assert per_boundary[0] == per_boundary[1] == 32
+        assert total == 32 * 2 + 16  # crossings + output flop
+
+    def test_constants_never_registered(self):
+        from repro.ir.builder import GraphBuilder
+
+        builder = GraphBuilder("const_reg")
+        x = builder.param("x", 8)
+        c = builder.constant(3, 8)
+        total = builder.add(x, c)
+        builder.output(total)
+        stages = {x.node_id: 0, c.node_id: 0, total.node_id: 1,
+                  builder.graph.users_of(total.node_id)[0]: 1}
+        schedule = _manual_schedule(builder.graph, stages)
+        counted, per_boundary = count_pipeline_registers(schedule)
+        assert per_boundary == [8]  # only x crosses; the constant does not
+        assert counted == 8 + 8
+
+
+class TestPipelineAnalyzer:
+    def test_report_consistency(self, adder_chain_graph, synthesis_flow):
+        scheduler = SdcScheduler(OperatorModel(pessimism=1.0),
+                                 clock_period_ps=1500.0)
+        schedule = scheduler.schedule(adder_chain_graph).schedule
+        analyzer = PipelineAnalyzer(flow=synthesis_flow)
+        report = analyzer.report(schedule)
+        assert report.num_stages == schedule.num_stages
+        assert len(report.stage_delays_ps) == report.num_stages
+        assert report.worst_stage_delay_ps == max(report.stage_delays_ps)
+        assert report.slack_ps == pytest.approx(
+            1500.0 - report.worst_stage_delay_ps
+            - analyzer.library.register_delay_ps)
+        assert report.num_registers == count_pipeline_registers(schedule)[0]
+
+    def test_slack_non_negative_for_generous_clock(self, adder_chain_graph,
+                                                   synthesis_flow):
+        scheduler = SdcScheduler(OperatorModel(pessimism=1.2),
+                                 clock_period_ps=6000.0)
+        schedule = scheduler.schedule(adder_chain_graph).schedule
+        report = PipelineAnalyzer(flow=synthesis_flow).report(schedule)
+        assert report.slack_ps >= 0.0

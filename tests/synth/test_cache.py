@@ -1,0 +1,33 @@
+"""Tests for the subgraph evaluation cache."""
+
+from repro.synth.cache import EvaluationCache
+from repro.synth.flow import SynthesisFlow
+
+
+def test_cache_hits_and_misses(adder_chain_graph, library):
+    cache = EvaluationCache(SynthesisFlow(library))
+    names = {n.name: n.node_id for n in adder_chain_graph.nodes()}
+    first = cache.evaluate(adder_chain_graph, [names["s1"], names["s2"]])
+    second = cache.evaluate(adder_chain_graph, [names["s2"], names["s1"]])
+    assert first is second
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.hit_rate == 0.5
+    assert len(cache) == 1
+
+
+def test_different_subsets_are_distinct(adder_chain_graph, library):
+    cache = EvaluationCache(SynthesisFlow(library))
+    names = {n.name: n.node_id for n in adder_chain_graph.nodes()}
+    cache.evaluate(adder_chain_graph, [names["s1"]])
+    cache.evaluate(adder_chain_graph, [names["s1"], names["s2"]])
+    assert cache.stats.misses == 2
+    assert len(cache) == 2
+
+
+def test_clear_resets_everything(adder_chain_graph, library):
+    cache = EvaluationCache(SynthesisFlow(library))
+    cache.evaluate(adder_chain_graph, [adder_chain_graph.node_ids()[4]])
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats.total == 0

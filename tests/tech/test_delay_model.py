@@ -1,0 +1,69 @@
+"""Tests for the closed-form operator delay model."""
+
+import pytest
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.ops import OpKind
+from repro.tech.delay_model import OperatorModel
+
+
+class TestDelayScaling:
+    def test_adder_delay_grows_linearly_with_width(self, operator_model):
+        d8 = operator_model.delay(OpKind.ADD, 8)
+        d16 = operator_model.delay(OpKind.ADD, 16)
+        d32 = operator_model.delay(OpKind.ADD, 32)
+        assert d8 < d16 < d32
+        # Ripple carry: delay is affine in width, so doubling the width gap
+        # doubles the delay gap.
+        assert (d32 - d16) == pytest.approx(2 * (d16 - d8), rel=0.2)
+
+    def test_multiplier_slower_than_adder(self, operator_model):
+        assert operator_model.delay(OpKind.MUL, 16) > operator_model.delay(OpKind.ADD, 16)
+
+    def test_shift_delay_grows_logarithmically(self, operator_model):
+        d8 = operator_model.delay(OpKind.SHL, 8)
+        d64 = operator_model.delay(OpKind.SHL, 64)
+        assert d64 == pytest.approx(2 * d8, rel=0.01)
+
+    def test_free_ops_have_zero_delay(self, operator_model):
+        for kind in (OpKind.CONCAT, OpKind.BIT_SLICE, OpKind.ZERO_EXT,
+                     OpKind.OUTPUT, OpKind.PARAM):
+            assert operator_model.delay(kind, 32) == 0.0
+
+    def test_divider_much_slower_than_multiplier(self, operator_model):
+        assert operator_model.delay(OpKind.UDIV, 16) > \
+            3 * operator_model.delay(OpKind.MUL, 16)
+
+    def test_every_opcode_has_a_delay(self, operator_model):
+        for kind in OpKind:
+            assert operator_model.delay(kind, 16) >= 0.0
+
+
+class TestPessimism:
+    def test_pessimism_scales_delay(self):
+        base = OperatorModel(pessimism=1.0)
+        padded = OperatorModel(pessimism=1.5)
+        assert padded.delay(OpKind.ADD, 16) == pytest.approx(
+            1.5 * base.delay(OpKind.ADD, 16))
+
+    def test_pessimism_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            OperatorModel(pessimism=0.9)
+
+
+class TestNodeInterface:
+    def test_node_delay_and_timing(self, operator_model):
+        builder = GraphBuilder()
+        x = builder.param("x", 16)
+        y = builder.param("y", 16)
+        total = builder.add(x, y)
+        timing = operator_model.timing(total)
+        assert timing.delay_ps == operator_model.node_delay(total)
+        assert timing.register_bits == 16
+
+    def test_multi_operand_logic_deeper(self, operator_model):
+        builder = GraphBuilder()
+        operands = [builder.param(f"p{i}", 8) for i in range(8)]
+        wide = builder.graph.add_node(OpKind.XOR, [o.node_id for o in operands])
+        narrow = builder.xor(operands[0], operands[1])
+        assert operator_model.node_delay(wide) > operator_model.node_delay(narrow)

@@ -1,0 +1,47 @@
+"""Tests for the technology library."""
+
+import pytest
+
+from repro.tech.library import Cell, TechLibrary
+from repro.tech.sky130 import sky130_library
+
+
+class TestTechLibrary:
+    def test_add_and_lookup(self):
+        library = TechLibrary("test")
+        library.add_cell(Cell("nand2", 20.0, 3.8, 2))
+        assert library.delay("nand2") == 20.0
+        assert library.area("nand2") == 3.8
+        assert library.cell("nand2").num_inputs == 2
+
+    def test_missing_cell_raises(self):
+        library = TechLibrary("empty")
+        with pytest.raises(KeyError, match="no cell"):
+            library.cell("xor2")
+
+    def test_replacing_cell(self):
+        library = TechLibrary("test")
+        library.add_cell(Cell("inv", 15.0, 2.5, 1))
+        library.add_cell(Cell("inv", 12.0, 2.0, 1))
+        assert library.delay("inv") == 12.0
+
+
+class TestSky130:
+    def test_has_all_gate_cells(self, library):
+        for name in ("inv", "and2", "or2", "nand2", "nor2", "xor2", "xnor2",
+                     "mux2", "maj3", "andn2", "buf", "tie0", "tie1"):
+            assert name in library.cells
+
+    def test_register_figures_positive(self, library):
+        assert library.register_delay_ps > 0
+        assert library.register_area_um2 > 0
+
+    def test_xor_slower_than_nand(self, library):
+        assert library.delay("xor2") > library.delay("nand2")
+
+    def test_tie_cells_are_free(self, library):
+        assert library.delay("tie0") == 0.0
+        assert library.delay("tie1") == 0.0
+
+    def test_fresh_library_instances_are_equal(self):
+        assert sky130_library().cells.keys() == sky130_library().cells.keys()
