@@ -7,12 +7,14 @@ with the geometric-mean summary and ratio rows, in the paper's format.
 
 Run with::
 
-    python examples/full_benchmark_suite.py            # all 17 designs
-    python examples/full_benchmark_suite.py --quick    # reduced iterations
+    python examples/full_benchmark_suite.py              # all 17 designs
+    python examples/full_benchmark_suite.py --quick      # reduced iterations
+    python examples/full_benchmark_suite.py --jobs 4     # 4 worker processes
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 from pathlib import Path
 
@@ -22,14 +24,23 @@ from repro.experiments.table1 import format_table1, run_table1
 
 
 def main() -> None:
-    quick = "--quick" in sys.argv
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced iteration counts")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="benchmark cases evaluated concurrently "
+                             "(results identical to --jobs 1)")
+    arguments = parser.parse_args()
+    quick = arguments.quick
     subgraphs = 8 if quick else 16
     iterations = 6 if quick else 15
 
     print(f"Running Table I ({'quick' if quick else 'full'} settings: "
-          f"m={subgraphs}, up to {iterations} iterations per design)...\n")
+          f"m={subgraphs}, up to {iterations} iterations per design, "
+          f"jobs={arguments.jobs})...\n")
     result = run_table1(subgraphs_per_iteration=subgraphs,
-                        max_iterations=iterations, verbose=True)
+                        max_iterations=iterations,
+                        verbose=arguments.jobs == 1, jobs=arguments.jobs)
 
     print()
     print(format_table1(result))

@@ -24,13 +24,22 @@ Quickstart::
 from repro.ir import DataflowGraph, GraphBuilder, OpKind
 from repro.isdc import IsdcConfig, IsdcScheduler
 from repro.sdc import PipelineAnalyzer, Schedule, SdcScheduler
-from repro.synth import SynthesisFlow
+from repro.synth import (
+    EstimatorBackend,
+    FlowBackend,
+    LocalSynthesisBackend,
+    SynthesisFlow,
+    create_backend,
+)
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "DataflowGraph",
+    "EstimatorBackend",
+    "FlowBackend",
     "GraphBuilder",
+    "LocalSynthesisBackend",
     "OpKind",
     "IsdcConfig",
     "IsdcScheduler",
@@ -38,5 +47,6 @@ __all__ = [
     "Schedule",
     "SdcScheduler",
     "SynthesisFlow",
+    "create_backend",
     "__version__",
 ]

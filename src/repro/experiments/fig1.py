@@ -14,7 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.designs.suite import BenchmarkCase, table1_suite
+from repro.experiments.table1 import registry_case_names
 from repro.experiments.tables import pearson_correlation
+from repro.parallel import parallel_map
 from repro.sdc.scheduler import SdcScheduler
 from repro.synth.cache import EvaluationCache
 from repro.synth.estimator import CharacterizedOperatorModel
@@ -50,9 +52,63 @@ def _default_cases() -> list[BenchmarkCase]:
     return [case for case in table1_suite() if case.name in wanted]
 
 
+def _profile_case(case: BenchmarkCase, clock_scales: tuple[float, ...],
+                  model: CharacterizedOperatorModel,
+                  cache: EvaluationCache) -> list[DesignPoint]:
+    """Profile every pipeline stage of one case across the clock sweep.
+
+    AIG depths appear in the points iff the cache's flow was built with
+    ``compute_aig=True`` (the caller owns the flow configuration).
+    """
+    graph = case.build()
+    points: list[DesignPoint] = []
+    for scale in clock_scales:
+        clock = case.clock_period_ps * scale
+        scheduler = SdcScheduler(delay_model=model, clock_period_ps=clock)
+        try:
+            result = scheduler.schedule(graph)
+        except ValueError:
+            # Clock too fast for the design's slowest operation.
+            continue
+        schedule = result.schedule
+        matrix = result.delay_matrix
+        index_of = result.index_of
+        stages: list[tuple[int, list[int], float]] = []
+        for stage, node_ids in schedule.stage_node_map().items():
+            operations = [nid for nid in node_ids
+                          if not graph.node(nid).is_source]
+            if not operations:
+                continue
+            indices = [index_of[nid] for nid in operations]
+            block = matrix[indices][:, indices]
+            stages.append((stage, operations, float(block.max())))
+        reports = cache.evaluate_batch(
+            graph, [operations for _, operations, _ in stages],
+            [f"{graph.name}_c{clock:.0f}_s{stage}" for stage, _, _ in stages])
+        for (stage, _, estimated), report in zip(stages, reports):
+            points.append(DesignPoint(
+                design=case.name, clock_period_ps=clock, stage=stage,
+                estimated_delay_ps=estimated,
+                measured_delay_ps=report.delay_ps,
+                aig_depth=report.aig_depth or 0))
+    return points
+
+
+def _profile_registry_case(payload: tuple) -> list[DesignPoint]:
+    """Worker-side profiling of one case, shipped by name (lambdas don't pickle)."""
+    name, clock_scales, compute_aig = payload
+    for case in table1_suite():
+        if case.name == name:
+            model = CharacterizedOperatorModel()
+            cache = EvaluationCache(SynthesisFlow(compute_aig=compute_aig))
+            return _profile_case(case, clock_scales, model, cache)
+    raise KeyError(f"benchmark case {name!r} not in the Table-I suite")
+
+
 def run_delay_profile(cases: list[BenchmarkCase] | None = None,
                       clock_scales: tuple[float, ...] = (0.7, 0.85, 1.0, 1.25, 1.5),
-                      compute_aig: bool = True) -> list[DesignPoint]:
+                      compute_aig: bool = True, jobs: int = 1
+                      ) -> list[DesignPoint]:
     """Sweep schedules over clock periods and profile every pipeline stage.
 
     Args:
@@ -61,44 +117,35 @@ def run_delay_profile(cases: list[BenchmarkCase] | None = None,
             every (case, scale) pair produces one schedule and each of its
             stages becomes one design point.
         compute_aig: also record each stage's AIG depth (needed by Fig. 8).
+        jobs: profile cases concurrently over a process pool; point values
+            and ordering are identical to a serial run.  Cases outside the
+            Table-I registry run serially.
 
     Returns:
         All profiled design points.
     """
     cases = cases if cases is not None else _default_cases()
-    points: list[DesignPoint] = []
-    model = CharacterizedOperatorModel()
-    flow = SynthesisFlow(compute_aig=compute_aig)
-    cache = EvaluationCache(flow)
+    per_case: list[list[DesignPoint] | None] = [None] * len(cases)
 
-    for case in cases:
-        graph = case.build()
-        for scale in clock_scales:
-            clock = case.clock_period_ps * scale
-            scheduler = SdcScheduler(delay_model=model, clock_period_ps=clock)
-            try:
-                result = scheduler.schedule(graph)
-            except ValueError:
-                # Clock too fast for the design's slowest operation.
-                continue
-            schedule = result.schedule
-            matrix = result.delay_matrix
-            index_of = result.index_of
-            for stage, node_ids in schedule.stage_node_map().items():
-                operations = [nid for nid in node_ids
-                              if not graph.node(nid).is_source]
-                if not operations:
-                    continue
-                indices = [index_of[nid] for nid in operations]
-                block = matrix[indices][:, indices]
-                estimated = float(block.max())
-                report = cache.evaluate(graph, operations,
-                                        name=f"{graph.name}_c{clock:.0f}_s{stage}")
-                points.append(DesignPoint(
-                    design=case.name, clock_period_ps=clock, stage=stage,
-                    estimated_delay_ps=estimated,
-                    measured_delay_ps=report.delay_ps,
-                    aig_depth=report.aig_depth or 0))
+    if jobs > 1:
+        registry = registry_case_names(cases)
+        indices = [i for i, case in enumerate(cases) if case.name in registry]
+        payloads = [(cases[i].name, clock_scales, compute_aig) for i in indices]
+        for i, case_points in zip(indices,
+                                  parallel_map(_profile_registry_case,
+                                               payloads, jobs)):
+            per_case[i] = case_points
+
+    model = None
+    cache = None
+    points: list[DesignPoint] = []
+    for i, case in enumerate(cases):
+        if per_case[i] is None:
+            if model is None:
+                model = CharacterizedOperatorModel()
+                cache = EvaluationCache(SynthesisFlow(compute_aig=compute_aig))
+            per_case[i] = _profile_case(case, clock_scales, model, cache)
+        points.extend(per_case[i])
     return points
 
 

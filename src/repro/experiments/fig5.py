@@ -14,6 +14,7 @@ from repro.designs.suite import ablation_design
 from repro.ir.graph import DataflowGraph
 from repro.isdc.config import ExpansionStrategy, ExtractionStrategy, IsdcConfig
 from repro.isdc.scheduler import IsdcScheduler
+from repro.parallel import parallel_map
 
 
 @dataclass(frozen=True)
@@ -67,25 +68,58 @@ def run_single_ablation(graph: DataflowGraph, clock_period_ps: float,
     )
 
 
+def _run_default_design_ablation(payload: tuple) -> AblationCurve:
+    """Worker-side ablation over the default design (module-level: picklable).
+
+    The ablation design is re-built inside the worker from
+    :func:`~repro.designs.suite.ablation_design`, because graphs are cheap to
+    rebuild deterministically while configuration tuples pickle trivially.
+    """
+    extraction, expansion, count, iterations = payload
+    design, clock_period_ps = ablation_design()
+    return run_single_ablation(design, clock_period_ps,
+                               ExtractionStrategy(extraction),
+                               ExpansionStrategy(expansion), count, iterations)
+
+
+def _ablation_grid(configurations: list[tuple[str, str, int, int]],
+                   design: DataflowGraph | None,
+                   clock_period_ps: float | None,
+                   jobs: int) -> list[AblationCurve]:
+    """Run a grid of ablation configurations, fanning out when possible."""
+    if design is None and clock_period_ps is None and jobs > 1:
+        return parallel_map(_run_default_design_ablation, configurations, jobs)
+    if design is None or clock_period_ps is None:
+        design, clock_period_ps = ablation_design()
+    return [run_single_ablation(design, clock_period_ps,
+                                ExtractionStrategy(extraction),
+                                ExpansionStrategy(expansion), count, iterations)
+            for extraction, expansion, count, iterations in configurations]
+
+
 def run_extraction_ablation(subgraph_counts: tuple[int, ...] = (4, 8, 16),
                             iterations: int = 30,
                             design: DataflowGraph | None = None,
-                            clock_period_ps: float | None = None
+                            clock_period_ps: float | None = None,
+                            jobs: int = 1
                             ) -> dict[tuple[str, int], AblationCurve]:
     """Reproduce Fig. 5: delay-driven vs. fanout-driven, path-based expansion.
+
+    Args:
+        jobs: run the ablation configurations concurrently (default-design
+            runs only; explicit ``design`` graphs may not pickle and run
+            serially).  Trajectories are identical to a serial run.
 
     Returns:
         Mapping from ``(strategy, m)`` to the corresponding trajectory.
     """
-    if design is None or clock_period_ps is None:
-        design, clock_period_ps = ablation_design()
-    curves: dict[tuple[str, int], AblationCurve] = {}
-    for count in subgraph_counts:
-        for strategy in (ExtractionStrategy.DELAY, ExtractionStrategy.FANOUT):
-            curve = run_single_ablation(design, clock_period_ps, strategy,
-                                        ExpansionStrategy.PATH, count, iterations)
-            curves[(strategy.value, count)] = curve
-    return curves
+    configurations = [
+        (strategy.value, ExpansionStrategy.PATH.value, count, iterations)
+        for count in subgraph_counts
+        for strategy in (ExtractionStrategy.DELAY, ExtractionStrategy.FANOUT)]
+    results = _ablation_grid(configurations, design, clock_period_ps, jobs)
+    return {(extraction, count): curve
+            for (extraction, _, count, _), curve in zip(configurations, results)}
 
 
 def format_ablation(curves: dict[tuple[str, int], AblationCurve]) -> str:

@@ -13,8 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.designs.suite import BenchmarkCase, table1_suite
+from repro.experiments.table1 import registry_case_names
 from repro.isdc.config import IsdcConfig
 from repro.isdc.scheduler import IsdcScheduler
+from repro.parallel import parallel_map
 
 
 @dataclass
@@ -42,9 +44,40 @@ class EstimationAccuracyResult:
         return self.sdc_error[-1] if self.sdc_error else 0.0
 
 
+def _accuracy_curves(case: BenchmarkCase, max_iterations: int,
+                     subgraphs_per_iteration: int
+                     ) -> tuple[list[float], list[float]]:
+    """ISDC and naive-SDC estimation-error curves of one benchmark case."""
+    graph = case.build()
+    config = IsdcConfig(clock_period_ps=case.clock_period_ps,
+                        subgraphs_per_iteration=subgraphs_per_iteration,
+                        max_iterations=max_iterations,
+                        patience=max_iterations,
+                        track_estimation_error=True)
+    result = IsdcScheduler(config).schedule(graph)
+    isdc_curve = [record.estimation_error for record in result.history]
+    sdc_curve = [record.naive_estimation_error
+                 if record.naive_estimation_error is not None
+                 else record.estimation_error
+                 for record in result.history]
+    return ([e for e in isdc_curve if e is not None],
+            [e for e in sdc_curve if e is not None])
+
+
+def _accuracy_registry_case(payload: tuple) -> tuple[list[float], list[float]]:
+    """Worker-side accuracy run, shipped by case name (lambdas don't pickle)."""
+    name, max_iterations, subgraphs_per_iteration = payload
+    for case in table1_suite():
+        if case.name == name:
+            return _accuracy_curves(case, max_iterations,
+                                    subgraphs_per_iteration)
+    raise KeyError(f"benchmark case {name!r} not in the Table-I suite")
+
+
 def run_estimation_accuracy(cases: list[BenchmarkCase] | None = None,
                             max_iterations: int = 8,
-                            subgraphs_per_iteration: int = 16
+                            subgraphs_per_iteration: int = 16,
+                            jobs: int = 1
                             ) -> EstimationAccuracyResult:
     """Reproduce Fig. 7 on the given benchmark cases.
 
@@ -54,27 +87,29 @@ def run_estimation_accuracy(cases: list[BenchmarkCase] | None = None,
             affordable).
         max_iterations: how many ISDC iterations to profile.
         subgraphs_per_iteration: ISDC's ``m``.
+        jobs: run cases concurrently over a process pool; curves are
+            identical to a serial run.
     """
     if cases is None:
         cases = [case for case in table1_suite() if case.scale != "large"]
 
+    curves: list[tuple[list[float], list[float]] | None] = [None] * len(cases)
+    if jobs > 1:
+        registry = registry_case_names(cases)
+        indices = [i for i, case in enumerate(cases) if case.name in registry]
+        payloads = [(cases[i].name, max_iterations, subgraphs_per_iteration)
+                    for i in indices]
+        for i, pair in zip(indices, parallel_map(_accuracy_registry_case,
+                                                 payloads, jobs)):
+            curves[i] = pair
+
     per_design_isdc: dict[str, list[float]] = {}
     per_design_sdc: dict[str, list[float]] = {}
-    for case in cases:
-        graph = case.build()
-        config = IsdcConfig(clock_period_ps=case.clock_period_ps,
-                            subgraphs_per_iteration=subgraphs_per_iteration,
-                            max_iterations=max_iterations,
-                            patience=max_iterations,
-                            track_estimation_error=True)
-        result = IsdcScheduler(config).schedule(graph)
-        isdc_curve = [record.estimation_error for record in result.history]
-        sdc_curve = [record.naive_estimation_error
-                     if record.naive_estimation_error is not None
-                     else record.estimation_error
-                     for record in result.history]
-        per_design_isdc[case.name] = [e for e in isdc_curve if e is not None]
-        per_design_sdc[case.name] = [e for e in sdc_curve if e is not None]
+    for i, case in enumerate(cases):
+        isdc_curve, sdc_curve = curves[i] or _accuracy_curves(
+            case, max_iterations, subgraphs_per_iteration)
+        per_design_isdc[case.name] = isdc_curve
+        per_design_sdc[case.name] = sdc_curve
 
     result = EstimationAccuracyResult(per_design=per_design_isdc)
     num_iterations = max((len(curve) for curve in per_design_isdc.values()),

@@ -37,7 +37,8 @@ class AigCorrelationResult:
 
 def run_aig_correlation(cases: list[BenchmarkCase] | None = None,
                         clock_scales: tuple[float, ...] = (0.7, 0.85, 1.0, 1.25, 1.5),
-                        points: list[DesignPoint] | None = None
+                        points: list[DesignPoint] | None = None,
+                        jobs: int = 1
                         ) -> AigCorrelationResult:
     """Reproduce Fig. 8.
 
@@ -45,9 +46,11 @@ def run_aig_correlation(cases: list[BenchmarkCase] | None = None,
         cases: benchmark cases to sweep (defaults to the Fig. 1 subset).
         clock_scales: clock multipliers of the sweep.
         points: reuse an existing Fig. 1 profile instead of re-running it.
+        jobs: worker processes for the underlying Fig. 1 sweep.
     """
     if points is None:
-        points = run_delay_profile(cases, clock_scales, compute_aig=True)
+        points = run_delay_profile(cases, clock_scales, compute_aig=True,
+                                   jobs=jobs)
     usable = [p for p in points if p.aig_depth > 0]
     depths = [float(p.aig_depth) for p in usable]
     delays = [p.measured_delay_ps for p in usable]

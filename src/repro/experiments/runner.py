@@ -2,21 +2,30 @@
 
 Usage::
 
-    python -m repro.experiments.runner table1 [--quick]
-    python -m repro.experiments.runner fig1
-    python -m repro.experiments.runner fig5 [--quick]
-    python -m repro.experiments.runner fig6 [--quick]
-    python -m repro.experiments.runner fig7
-    python -m repro.experiments.runner fig8
+    python -m repro.experiments.runner table1 [--quick] [--jobs N] [--json PATH]
+    python -m repro.experiments.runner fig1 [--jobs N] [--json PATH]
+    python -m repro.experiments.runner fig5 [--quick] [--jobs N] [--json PATH]
+    python -m repro.experiments.runner fig6 [--quick] [--jobs N] [--json PATH]
+    python -m repro.experiments.runner fig7 [--jobs N] [--json PATH]
+    python -m repro.experiments.runner fig8 [--jobs N] [--json PATH]
 
 Each sub-command regenerates one artefact of the paper's evaluation and
 prints its ASCII rendition; ``--quick`` reduces iteration counts and design
-subsets so a run finishes in well under a minute.
+subsets so a run finishes in well under a minute.  ``--jobs N`` fans the
+independent units of work (benchmark cases, ablation configurations) out
+over N worker processes with deterministic result ordering -- every
+schedule-quality figure is identical to a serial run.  ``--json PATH``
+additionally writes the machine-readable payload described in
+:mod:`repro.experiments.serialize`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import time
+from pathlib import Path
+from typing import Any
 
 from repro.designs.suite import table1_suite
 from repro.experiments.fig1 import format_profile, run_delay_profile
@@ -24,7 +33,10 @@ from repro.experiments.fig5 import format_ablation, run_extraction_ablation
 from repro.experiments.fig6 import run_expansion_ablation
 from repro.experiments.fig7 import format_estimation_accuracy, run_estimation_accuracy
 from repro.experiments.fig8 import format_aig_correlation, run_aig_correlation
+from repro.experiments.serialize import experiment_payload
 from repro.experiments.table1 import format_table1, run_table1
+
+EXPERIMENTS = ("table1", "fig1", "fig5", "fig6", "fig7", "fig8")
 
 
 def _small_cases():
@@ -32,12 +44,14 @@ def _small_cases():
     return [case for case in table1_suite() if case.name in wanted]
 
 
-def run_experiment(name: str, quick: bool = False) -> str:
-    """Run one experiment by name and return its printable report.
+def run_experiment_result(name: str, quick: bool = False, jobs: int = 1
+                          ) -> tuple[Any, str]:
+    """Run one experiment and return ``(raw result, printable report)``.
 
     Args:
         name: one of ``table1``, ``fig1``, ``fig5``, ``fig6``, ``fig7``, ``fig8``.
         quick: use reduced settings.
+        jobs: worker processes for the experiment's parallel fan-out.
 
     Raises:
         ValueError: for an unknown experiment name.
@@ -45,43 +59,84 @@ def run_experiment(name: str, quick: bool = False) -> str:
     if name == "table1":
         result = run_table1(subgraphs_per_iteration=8 if quick else 16,
                             max_iterations=5 if quick else 15,
-                            cases=_small_cases() if quick else None)
-        return format_table1(result)
+                            cases=_small_cases() if quick else None,
+                            jobs=jobs)
+        return result, format_table1(result)
     if name == "fig1":
         points = run_delay_profile(_small_cases() if quick else None,
-                                   compute_aig=False)
-        return format_profile(points)
+                                   compute_aig=False, jobs=jobs)
+        return points, format_profile(points)
     if name == "fig5":
         curves = run_extraction_ablation(
             subgraph_counts=(4, 16) if quick else (4, 8, 16),
-            iterations=8 if quick else 30)
-        return format_ablation(curves)
+            iterations=8 if quick else 30, jobs=jobs)
+        return curves, format_ablation(curves)
     if name == "fig6":
         curves = run_expansion_ablation(
             subgraph_counts=(8,) if quick else (4, 8, 16),
-            iterations=8 if quick else 30)
-        return format_ablation(curves)
+            iterations=8 if quick else 30, jobs=jobs)
+        return curves, format_ablation(curves)
     if name == "fig7":
         result = run_estimation_accuracy(
             _small_cases() if quick else None,
-            max_iterations=5 if quick else 10)
-        return format_estimation_accuracy(result)
+            max_iterations=5 if quick else 10, jobs=jobs)
+        return result, format_estimation_accuracy(result)
     if name == "fig8":
-        result = run_aig_correlation(_small_cases() if quick else None)
-        return format_aig_correlation(result)
+        result = run_aig_correlation(_small_cases() if quick else None,
+                                     jobs=jobs)
+        return result, format_aig_correlation(result)
     raise ValueError(f"unknown experiment {name!r}; expected table1 or fig1/5/6/7/8")
+
+
+def run_experiment(name: str, quick: bool = False, jobs: int = 1) -> str:
+    """Run one experiment by name and return its printable report.
+
+    Args:
+        name: one of ``table1``, ``fig1``, ``fig5``, ``fig6``, ``fig7``, ``fig8``.
+        quick: use reduced settings.
+        jobs: worker processes for the experiment's parallel fan-out.
+
+    Raises:
+        ValueError: for an unknown experiment name.
+    """
+    _, report = run_experiment_result(name, quick=quick, jobs=jobs)
+    return report
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner",
         description="Regenerate one table/figure of the ISDC paper.")
-    parser.add_argument("experiment",
-                        choices=["table1", "fig1", "fig5", "fig6", "fig7", "fig8"])
+    parser.add_argument("experiment", choices=list(EXPERIMENTS))
     parser.add_argument("--quick", action="store_true",
                         help="reduced settings (seconds instead of minutes)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the experiment's parallel "
+                             "fan-out (results are identical to --jobs 1)")
+    parser.add_argument("--json", dest="json_path", metavar="PATH",
+                        help="also write the machine-readable result payload "
+                             "to PATH")
     arguments = parser.parse_args(argv)
-    print(run_experiment(arguments.experiment, quick=arguments.quick))
+    if arguments.jobs < 1:
+        parser.error("--jobs must be at least 1")
+    if arguments.json_path and Path(arguments.json_path).is_dir():
+        parser.error(f"--json {arguments.json_path!r} is a directory, "
+                     "expected a file path")
+
+    start = time.perf_counter()
+    result, report = run_experiment_result(arguments.experiment,
+                                           quick=arguments.quick,
+                                           jobs=arguments.jobs)
+    elapsed = time.perf_counter() - start
+    print(report)
+
+    if arguments.json_path:
+        payload = experiment_payload(arguments.experiment, result,
+                                     quick=arguments.quick,
+                                     jobs=arguments.jobs, elapsed_s=elapsed)
+        path = Path(arguments.json_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2) + "\n")
     return 0
 
 

@@ -1,0 +1,118 @@
+"""Machine-readable payloads for the experiment harnesses.
+
+Every experiment result converts to a plain-JSON-serialisable dict so runs
+can be archived, diffed and consumed by the benchmark suite (``--json PATH``
+on :mod:`repro.experiments.runner`).  The payload envelope is::
+
+    {
+      "schema": 1,
+      "experiment": "<name>",
+      "quick": bool,
+      "jobs": int,
+      "elapsed_s": float,
+      "data": {...}          # experiment-specific, see the builders below
+    }
+
+Wall-clock fields (``elapsed_s`` and the per-row ``*_time_s`` columns) are
+the only values expected to differ between runs or ``--jobs`` settings; all
+schedule-quality figures are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any
+
+from repro.experiments.fig1 import DesignPoint, profile_summary
+from repro.experiments.fig5 import AblationCurve
+from repro.experiments.fig7 import EstimationAccuracyResult
+from repro.experiments.fig8 import AigCorrelationResult
+from repro.experiments.table1 import TableOneResult
+
+SCHEMA_VERSION = 1
+
+
+def _table1_payload(result: TableOneResult) -> dict[str, Any]:
+    return {
+        "rows": [asdict(row) for row in result.rows],
+        "summary": {
+            "register_ratio": result.register_ratio,
+            "stage_ratio": result.stage_ratio,
+            "slack_ratio": result.slack_ratio,
+            "runtime_ratio": result.runtime_ratio,
+        },
+    }
+
+
+def _profile_payload(points: list[DesignPoint]) -> dict[str, Any]:
+    return {
+        "points": [asdict(point) for point in points],
+        "summary": profile_summary(points),
+    }
+
+
+def _ablation_payload(curves: dict[tuple[str, int], AblationCurve]
+                      ) -> dict[str, Any]:
+    return {
+        "curves": [asdict(curve) for _, curve in sorted(curves.items())],
+    }
+
+
+def _accuracy_payload(result: EstimationAccuracyResult) -> dict[str, Any]:
+    return {
+        "isdc_error": result.isdc_error,
+        "sdc_error": result.sdc_error,
+        "per_design": result.per_design,
+    }
+
+
+def _correlation_payload(result: AigCorrelationResult) -> dict[str, Any]:
+    return {
+        "num_points": len(result.points),
+        "correlation": result.correlation,
+        "ps_per_level": result.ps_per_level,
+        "intercept_ps": result.intercept_ps,
+        "points": [asdict(point) for point in result.points],
+    }
+
+
+_PAYLOAD_BUILDERS = {
+    "table1": _table1_payload,
+    "fig1": _profile_payload,
+    "fig5": _ablation_payload,
+    "fig6": _ablation_payload,
+    "fig7": _accuracy_payload,
+    "fig8": _correlation_payload,
+}
+
+
+def experiment_payload(name: str, result: Any, quick: bool = False,
+                       jobs: int = 1, elapsed_s: float = 0.0) -> dict[str, Any]:
+    """Wrap one experiment's result in the machine-readable envelope.
+
+    Args:
+        name: experiment name (``table1`` or ``fig1``/``5``/``6``/``7``/``8``).
+        result: the raw object the experiment's ``run_*`` function returned.
+        quick: whether reduced settings were used.
+        jobs: worker processes the run was configured with.
+        elapsed_s: wall-clock duration of the run.
+
+    Raises:
+        ValueError: for an unknown experiment name.
+    """
+    try:
+        builder = _PAYLOAD_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(_PAYLOAD_BUILDERS))
+        raise ValueError(f"unknown experiment {name!r}; expected one of {known}")
+    return {
+        "schema": SCHEMA_VERSION,
+        "experiment": name,
+        "quick": quick,
+        "jobs": jobs,
+        "elapsed_s": elapsed_s,
+        "data": builder(result),
+    }
+
+
+__all__ = ["SCHEMA_VERSION", "experiment_payload"]

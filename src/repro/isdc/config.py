@@ -58,6 +58,13 @@ class IsdcConfig:
         track_estimation_error: record per-iteration delay-estimation error
             (needs one extra stage synthesis per iteration; used by Fig. 7).
         verbose: print a one-line summary per iteration.
+        backend: flow-backend registry name for the downstream evaluations
+            (``"local"`` for the full synthesis pipeline, ``"estimator"`` for
+            the cheap closed-form quick mode).
+        jobs: worker processes used by the backend's batch dispatch (1 keeps
+            everything serial; results are identical either way).
+        cache_path: optional on-disk evaluation-cache file shared across
+            runs (JSON lines keyed by structural subgraph fingerprints).
     """
 
     clock_period_ps: float = 2500.0
@@ -72,6 +79,9 @@ class IsdcConfig:
     latency_weight: float = 1e-3
     track_estimation_error: bool = True
     verbose: bool = False
+    backend: str = "local"
+    jobs: int = 1
+    cache_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.clock_period_ps <= 0:
@@ -82,6 +92,8 @@ class IsdcConfig:
             raise ValueError("max_iterations must be at least 1")
         if self.patience < 1:
             raise ValueError("patience must be at least 1")
+        if self.jobs < 1:
+            raise ValueError("jobs must be at least 1")
         if isinstance(self.extraction, str):
             self.extraction = ExtractionStrategy(self.extraction)
         if isinstance(self.expansion, str):

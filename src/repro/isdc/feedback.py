@@ -4,10 +4,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from pathlib import Path
+
 from repro.ir.graph import DataflowGraph
 from repro.isdc.extraction import CandidatePath
+from repro.synth.backend import FlowBackend, LocalSynthesisBackend
 from repro.synth.cache import EvaluationCache
-from repro.synth.flow import SynthesisFlow
 from repro.tech.library import TechLibrary
 
 
@@ -35,25 +37,37 @@ class FeedbackEngine:
     """Runs extracted subgraphs through the downstream flow, with memoisation.
 
     In the paper this corresponds to dispatching subgraphs to Yosys/OpenSTA in
-    parallel; here the flow is a local simulator, so "dispatch" is a cached
-    function call.
+    parallel; here every per-iteration batch goes through the evaluation
+    cache in one call, and the backend fans the distinct misses out over its
+    worker pool (``jobs > 1``) with deterministic result ordering.
 
     Args:
-        library: technology library for the downstream flow.
-        optimize: run the logic optimiser inside the flow.
+        library: technology library for the default backend (ignored when an
+            explicit ``backend`` is supplied).
+        optimize: run the logic optimiser inside the default backend.
+        backend: any :class:`~repro.synth.backend.FlowBackend`; defaults to a
+            :class:`~repro.synth.backend.LocalSynthesisBackend`.
+        jobs: worker processes of the default backend's batch dispatch.
+        cache_path: optional on-disk evaluation-cache file (JSON lines),
+            pre-warming repeated runs.
     """
 
-    def __init__(self, library: TechLibrary | None = None, optimize: bool = True) -> None:
-        flow = SynthesisFlow(library, optimize=optimize)
-        self.cache = EvaluationCache(flow)
+    def __init__(self, library: TechLibrary | None = None, optimize: bool = True,
+                 backend: FlowBackend | None = None, jobs: int = 1,
+                 cache_path: str | Path | None = None) -> None:
+        if backend is None:
+            backend = LocalSynthesisBackend(library, optimize=optimize, jobs=jobs)
+        self.backend = backend
+        self.cache = EvaluationCache(backend, disk_path=cache_path)
 
     def evaluate(self, graph: DataflowGraph,
                  subgraphs: list[tuple[CandidatePath, frozenset[int]]]
                  ) -> list[SubgraphFeedback]:
         """Evaluate a batch of subgraphs and return their feedback records."""
+        reports = self.cache.evaluate_batch(
+            graph, [node_ids for _, node_ids in subgraphs])
         feedback: list[SubgraphFeedback] = []
-        for candidate, node_ids in subgraphs:
-            report = self.cache.evaluate(graph, node_ids)
+        for (candidate, node_ids), report in zip(subgraphs, reports):
             feedback.append(SubgraphFeedback(
                 candidate=candidate,
                 node_ids=node_ids,

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import time
 
+import numpy as np
+
 from repro.ir.graph import DataflowGraph
 from repro.isdc.config import IsdcConfig
 from repro.isdc.delay_matrix import DelayMatrix
@@ -22,6 +24,7 @@ from repro.sdc.scheduler import (
     users_map,
 )
 from repro.sdc.solver import solve_lp
+from repro.synth.backend import create_backend
 from repro.synth.estimator import CharacterizedOperatorModel
 from repro.tech.delay_model import OperatorModel
 from repro.tech.library import TechLibrary
@@ -66,9 +69,13 @@ class IsdcScheduler:
         if self.timing_budget_ps <= 0:
             raise ValueError("clock period does not cover the register overhead")
         self.extractor = SubgraphExtractor(self.config)
+        backend = create_backend(self.config.backend, self.library,
+                                 optimize=self.config.optimize_subgraphs,
+                                 jobs=self.config.jobs)
         self.feedback = FeedbackEngine(self.library,
-                                       optimize=self.config.optimize_subgraphs)
-        self.analyzer = PipelineAnalyzer(flow=self.feedback.cache.flow,
+                                       backend=backend,
+                                       cache_path=self.config.cache_path)
+        self.analyzer = PipelineAnalyzer(flow=self.feedback.backend,
                                          library=self.library)
 
     # ------------------------------------------------------------------ public
@@ -181,17 +188,24 @@ class IsdcScheduler:
         if not self.config.track_estimation_error:
             return None
         graph = schedule.graph
-        errors: list[float] = []
+        stages: list[int] = []
+        stage_sets: list[list[int]] = []
         for stage, node_ids in schedule.stage_node_map().items():
             operations = [nid for nid in node_ids if not graph.node(nid).is_source]
-            if not operations:
-                continue
+            if operations:
+                stages.append(stage)
+                stage_sets.append(operations)
+        if not stage_sets:
+            return None
+        reports = self.feedback.cache.evaluate_batch(
+            graph, stage_sets,
+            [f"{graph.name}_stage{stage}" for stage in stages])
+        errors: list[float] = []
+        for operations, report in zip(stage_sets, reports):
             estimated = self._estimated_stage_delay(delay_matrix, operations)
-            actual = self.feedback.cache.evaluate(
-                graph, operations, name=f"{graph.name}_stage{stage}").delay_ps
-            if actual <= 0:
+            if report.delay_ps <= 0:
                 continue
-            errors.append(abs(estimated - actual) / actual)
+            errors.append(abs(estimated - report.delay_ps) / report.delay_ps)
         if not errors:
             return None
         return sum(errors) / len(errors)
@@ -200,8 +214,6 @@ class IsdcScheduler:
     def _estimated_stage_delay(delay_matrix: DelayMatrix,
                                node_ids: list[int]) -> float:
         """The scheduler's estimate of a stage's critical combinational delay."""
-        import numpy as np
-
         indices = [delay_matrix.index_of[nid] for nid in node_ids]
         block = delay_matrix.matrix[np.ix_(indices, indices)]
         return float(block.max()) if block.size else 0.0

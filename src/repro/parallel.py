@@ -1,0 +1,110 @@
+"""Shared process-pool helpers for batch evaluation and experiment fan-out.
+
+All helpers guarantee *deterministic result ordering*: results come back in
+the order of the submitted items regardless of which worker finished first.
+``jobs=1`` (or a single item) always takes a serial in-process fast path, so
+callers can thread a ``jobs`` knob through unconditionally.
+
+The pool prefers the ``fork`` start method (cheap, no re-import of the
+package in workers) and falls back to the platform default where ``fork`` is
+unavailable.  Submitted callables and arguments must be picklable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import Executor, ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context used by all pools (``fork`` when available)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def effective_jobs(jobs: int, num_items: int) -> int:
+    """Clamp a requested worker count to something worth spawning."""
+    return max(1, min(int(jobs), num_items))
+
+
+def parallel_map(function: Callable[[_T], _R], items: Sequence[_T],
+                 jobs: int = 1) -> list[_R]:
+    """``[function(item) for item in items]`` over a transient process pool.
+
+    Args:
+        function: picklable callable applied to every item.
+        items: the work items (picklable when ``jobs > 1``).
+        jobs: maximum worker processes; ``1`` runs serially in-process.
+
+    Returns:
+        Results in item order.
+    """
+    workers = effective_jobs(jobs, len(items))
+    if workers <= 1:
+        return [function(item) for item in items]
+    with ProcessPoolExecutor(max_workers=workers,
+                             mp_context=pool_context()) as executor:
+        return list(executor.map(function, items))
+
+
+class PersistentPool:
+    """A lazily-created, reusable process pool with ordered ``map``.
+
+    Batch evaluation calls arrive once per ISDC iteration; keeping the
+    workers alive across calls amortises the fork cost over the whole loop.
+    The pool is created on first use and torn down via :meth:`close` (also
+    invoked by ``with`` and on garbage collection).
+
+    Args:
+        jobs: maximum number of worker processes.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        self.jobs = max(1, int(jobs))
+        self._executor: Executor | None = None
+
+    def map(self, function: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
+        """Apply ``function`` to every item, preserving item order."""
+        workers = effective_jobs(self.jobs, len(items))
+        if workers <= 1:
+            return [function(item) for item in items]
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs,
+                                                 mp_context=pool_context())
+        return list(self._executor.map(function, items))
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def split_round_robin(items: Sequence[_T], chunks: int) -> list[list[_T]]:
+    """Deal ``items`` into ``chunks`` round-robin lists (some may be empty)."""
+    dealt: list[list[_T]] = [[] for _ in range(max(1, chunks))]
+    for index, item in enumerate(items):
+        dealt[index % len(dealt)].append(item)
+    return dealt
+
+
+__all__ = ["PersistentPool", "effective_jobs", "parallel_map", "pool_context",
+           "split_round_robin"]

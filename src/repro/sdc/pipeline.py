@@ -84,29 +84,40 @@ class PipelineAnalyzer:
     """Derives :class:`PipelineReport` objects from schedules.
 
     Args:
-        flow: downstream synthesis flow used for per-stage STA; a default
-            flow over the synthetic SKY130 library is created when omitted.
+        flow: downstream flow backend used for per-stage STA -- any
+            :class:`~repro.synth.backend.FlowBackend` (or an
+            :class:`~repro.synth.cache.EvaluationCache` wrapping one); a
+            default flow over the synthetic SKY130 library is created when
+            omitted.  All stages of a schedule are submitted as one batch, so
+            a parallel backend fans them out.
         library: technology library (for register overhead); defaults to the
             flow's library.
     """
 
     def __init__(self, flow: SynthesisFlow | None = None,
                  library: TechLibrary | None = None) -> None:
-        self.flow = flow or SynthesisFlow()
-        self.library = library or self.flow.library or sky130_library()
+        # `flow if ... is not None`: an empty EvaluationCache is falsy (__len__).
+        self.flow = flow if flow is not None else SynthesisFlow()
+        self.library = (library or getattr(self.flow, "library", None)
+                        or sky130_library())
 
     def stage_delays(self, schedule: Schedule) -> list[float]:
         """Post-synthesis combinational delay of every stage."""
         graph = schedule.graph
-        delays: list[float] = []
+        stage_sets: list[list[int]] = []
+        occupied: list[int] = []
         for stage in range(schedule.num_stages):
             nodes = [nid for nid in schedule.nodes_in_stage(stage)
                      if not graph.node(nid).is_source]
-            if not nodes:
-                delays.append(0.0)
-                continue
-            delays.append(self.flow.evaluate_subgraph(
-                graph, nodes, name=f"{graph.name}_stage{stage}").delay_ps)
+            if nodes:
+                occupied.append(stage)
+                stage_sets.append(nodes)
+        reports = self.flow.evaluate_batch(
+            graph, stage_sets,
+            [f"{graph.name}_stage{stage}" for stage in occupied])
+        delays = [0.0] * schedule.num_stages
+        for stage, report in zip(occupied, reports):
+            delays[stage] = report.delay_ps
         return delays
 
     def report(self, schedule: Schedule) -> PipelineReport:

@@ -5,17 +5,38 @@ it accepts a combinational subgraph of the HLS IR, lowers it to gates,
 optimises the logic and reports the post-synthesis critical-path delay.  The
 ISDC feedback loop only ever consumes that one number per subgraph, exactly
 as the paper's flow consumes the Yosys + OpenSTA report.
+
+Concrete tools plug in behind the :class:`FlowBackend` protocol (see
+:mod:`repro.synth.backend`); :class:`LocalSynthesisBackend` is the default
+lower -> optimise -> STA pipeline with parallel batch dispatch, and
+:class:`EstimatorBackend` is a cheap closed-form stand-in for quick mode.
 """
 
 from repro.synth.report import SynthesisReport
 from repro.synth.flow import SynthesisFlow
-from repro.synth.cache import EvaluationCache
+from repro.synth.backend import (
+    BACKENDS,
+    EstimatorBackend,
+    FlowBackend,
+    LocalSynthesisBackend,
+    create_backend,
+)
+from repro.synth.cache import CacheStatistics, EvaluationCache
 from repro.synth.estimator import CharacterizedOperatorModel, NaiveDelayEstimator
+from repro.synth.fingerprint import canonical_subgraph, subgraph_fingerprint
 
 __all__ = [
-    "SynthesisReport",
-    "SynthesisFlow",
-    "EvaluationCache",
+    "BACKENDS",
+    "CacheStatistics",
     "CharacterizedOperatorModel",
+    "EstimatorBackend",
+    "EvaluationCache",
+    "FlowBackend",
+    "LocalSynthesisBackend",
     "NaiveDelayEstimator",
+    "SynthesisFlow",
+    "SynthesisReport",
+    "canonical_subgraph",
+    "create_backend",
+    "subgraph_fingerprint",
 ]

@@ -2,18 +2,48 @@
 
 Subgraph evaluation dominates ISDC runtime (the paper reports a 40x runtime
 multiplier), and identical subgraphs recur across iterations once the schedule
-stabilises.  The cache keys on the design name and the exact node-id set, so a
-hit is guaranteed to be an identical block.
+stabilises.  The cache keys on a *structural fingerprint* of the induced
+subgraph (op kinds, widths, attributes, edges and boundary -- see
+:mod:`repro.synth.fingerprint`), so a hit is guaranteed to be a structurally
+identical block even across distinct graphs, distinct node ids, or graphs
+that happen to share a name.
+
+An optional on-disk layer (append-only JSON lines) makes repeated experiment
+runs warm: pass ``disk_path`` and every fresh evaluation is persisted, every
+future cache construction pre-loads it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
 
 from repro.ir.graph import DataflowGraph
-from repro.synth.flow import SynthesisFlow
+from repro.synth.fingerprint import subgraph_fingerprint
 from repro.synth.report import SynthesisReport
+
+
+def _backend_signature(backend) -> str:
+    """Configuration signature of a backend, for disk-cache compatibility.
+
+    Reports persisted by one backend configuration must never be served to a
+    differently-configured one (an estimator's guesses are not STA numbers,
+    an unoptimised flow's delays are not an optimised flow's), so every disk
+    record carries this signature and mismatching records are skipped on load.
+    """
+    parts = [type(backend).__name__]
+    for attribute in ("optimize", "compute_aig", "pessimism"):
+        if hasattr(backend, attribute):
+            parts.append(f"{attribute}={getattr(backend, attribute)}")
+    optimizer = getattr(backend, "_optimizer", None)
+    if optimizer is not None:
+        parts.append(f"balance={optimizer.balance}")
+    library = getattr(backend, "library", None)
+    if library is not None:
+        parts.append(f"library={getattr(library, 'name', type(library).__name__)}")
+    return ",".join(parts)
 
 
 @dataclass
@@ -22,6 +52,7 @@ class CacheStatistics:
 
     hits: int = 0
     misses: int = 0
+    disk_loaded: int = 0
 
     @property
     def total(self) -> int:
@@ -32,36 +63,142 @@ class CacheStatistics:
         return self.hits / self.total if self.total else 0.0
 
 
-@dataclass
 class EvaluationCache:
-    """Caches :class:`SynthesisReport` objects per (design, node set).
+    """Caches :class:`SynthesisReport` objects per structural fingerprint.
+
+    Args:
+        backend: the downstream flow used on cache misses; anything
+            satisfying :class:`~repro.synth.backend.FlowBackend` (including a
+            plain :class:`~repro.synth.flow.SynthesisFlow`).
+        disk_path: optional path to a JSON-lines cache file.  Existing
+            entries are pre-loaded; fresh evaluations are appended.
 
     Attributes:
-        flow: the underlying synthesis flow used on cache misses.
+        backend: the wrapped flow backend.
         stats: hit/miss counters.
     """
 
-    flow: SynthesisFlow
-    stats: CacheStatistics = field(default_factory=CacheStatistics)
-    _entries: dict[tuple[str, tuple[int, ...]], SynthesisReport] = field(
-        default_factory=dict, repr=False)
+    def __init__(self, backend, disk_path: str | Path | None = None) -> None:
+        self.backend = backend
+        self.stats = CacheStatistics()
+        self._entries: dict[str, SynthesisReport] = {}
+        self._disk_path = Path(disk_path) if disk_path is not None else None
+        self._backend_key = _backend_signature(backend)
+        self._load_disk()
+
+    # -------------------------------------------------------------- evaluate
 
     def evaluate(self, graph: DataflowGraph, node_ids: Iterable[int],
                  name: str = "") -> SynthesisReport:
-        """Return the (possibly cached) synthesis report of a subgraph."""
-        key = (graph.name, tuple(sorted(set(node_ids))))
-        if key in self._entries:
-            self.stats.hits += 1
-            return self._entries[key]
-        self.stats.misses += 1
-        report = self.flow.evaluate_subgraph(graph, key[1], name=name)
-        self._entries[key] = report
-        return report
+        """Return the (possibly cached) synthesis report of one subgraph."""
+        return self.evaluate_batch(graph, [tuple(node_ids)], [name])[0]
+
+    def evaluate_batch(self, graph: DataflowGraph,
+                       node_sets: Sequence[Iterable[int]],
+                       names: Sequence[str] | None = None
+                       ) -> list[SynthesisReport]:
+        """Evaluate a batch of subgraphs, answering from the cache where possible.
+
+        Only the distinct missing subgraphs are forwarded to the backend (in
+        one ``evaluate_batch`` call, so a parallel backend fans them out);
+        duplicates within the batch are evaluated once and counted as one
+        miss plus hits, matching serial semantics.  Results come back in
+        input order.
+
+        Args:
+            graph: the containing dataflow graph.
+            node_sets: one node-id collection per subgraph.
+            names: optional per-subgraph report names (used on misses only).
+
+        Returns:
+            One report per requested node set, in the same order.
+        """
+        normalized = [tuple(sorted(set(node_ids))) for node_ids in node_sets]
+        if names is None:
+            names = [""] * len(normalized)
+        keys = [subgraph_fingerprint(graph, node_ids) for node_ids in normalized]
+
+        missing_order: list[str] = []
+        missing_seen: set[str] = set()
+        missing_sets: list[tuple[int, ...]] = []
+        missing_names: list[str] = []
+        for key, node_ids, name in zip(keys, normalized, names):
+            if key in self._entries or key in missing_seen:
+                self.stats.hits += 1
+                continue
+            self.stats.misses += 1
+            missing_order.append(key)
+            missing_seen.add(key)
+            missing_sets.append(node_ids)
+            missing_names.append(name)
+
+        if missing_sets:
+            reports = self.backend.evaluate_batch(graph, missing_sets,
+                                                  missing_names)
+            for key, report in zip(missing_order, reports):
+                self._entries[key] = report
+                self._store_disk(key, report)
+
+        return [self._entries[key] for key in keys]
+
+    # ------------------------------------------------------------ disk layer
+
+    def _load_disk(self) -> None:
+        if self._disk_path is None or not self._disk_path.exists():
+            return
+        for line in self._disk_path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                if record.get("backend") != self._backend_key:
+                    continue  # persisted by a differently-configured backend
+                report = SynthesisReport(
+                    name=record["name"],
+                    delay_ps=float(record["delay_ps"]),
+                    num_gates=int(record["num_gates"]),
+                    num_gates_unoptimized=int(record["num_gates_unoptimized"]),
+                    area_um2=float(record["area_um2"]),
+                    aig_depth=record.get("aig_depth"),
+                    node_ids=tuple(record.get("node_ids", ())),
+                )
+                key = record["key"]
+            except (KeyError, TypeError, ValueError, json.JSONDecodeError):
+                continue  # skip corrupt lines rather than fail the run
+            if key not in self._entries:
+                self._entries[key] = report
+                self.stats.disk_loaded += 1
+
+    def _store_disk(self, key: str, report: SynthesisReport) -> None:
+        if self._disk_path is None:
+            return
+        record = {
+            "key": key,
+            "backend": self._backend_key,
+            "name": report.name,
+            "delay_ps": report.delay_ps,
+            "num_gates": report.num_gates,
+            "num_gates_unoptimized": report.num_gates_unoptimized,
+            "area_um2": report.area_um2,
+            "aig_depth": report.aig_depth,
+            "node_ids": list(report.node_ids),
+        }
+        self._disk_path.parent.mkdir(parents=True, exist_ok=True)
+        with self._disk_path.open("a") as handle:
+            handle.write(json.dumps(record) + "\n")
+
+    # -------------------------------------------------------------- plumbing
+
+    @property
+    def flow(self):
+        """Backward-compatible alias for :attr:`backend`."""
+        return self.backend
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def clear(self) -> None:
-        """Drop all cached entries and reset statistics."""
+        """Drop all cached entries and reset statistics (disk file untouched)."""
         self._entries.clear()
         self.stats = CacheStatistics()

@@ -1,0 +1,76 @@
+"""Structural fingerprints of induced IR subgraphs.
+
+The evaluation cache must key on *what gets synthesised*, not on which graph
+object or node ids happened to describe it: two graphs may share a name while
+differing structurally, and the same structural block recurs across designs
+(and across repeated builds of the same design).  A fingerprint canonically
+serialises exactly the information :func:`repro.netlist.lowering.lower_subgraph`
+consumes:
+
+* the induced nodes in lowering (topological) order -- op kind, result width
+  and opcode-specific attributes;
+* the edge structure, with in-set operands referenced by topological rank;
+* the boundary: external non-constant operands become primary inputs (only
+  their identity and width matter), external constants are materialised
+  (their value matters);
+* which in-set nodes are netlist outputs (results used outside the set, or
+  not used at all).
+
+Equal fingerprints therefore lower to identical netlists and yield identical
+synthesis reports; node ids, graph names and report names never enter the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+from repro.ir.graph import DataflowGraph
+from repro.ir.ops import OpKind
+
+
+def canonical_subgraph(graph: DataflowGraph, node_ids: Iterable[int]) -> tuple:
+    """Canonical structural form of the induced subgraph over ``node_ids``.
+
+    Returns a nested tuple that is equal for structurally identical blocks
+    and hashable/serialisable.  See the module docstring for what it encodes.
+    """
+    from repro.ir.analysis import topological_order
+
+    wanted = set(node_ids)
+    order = [nid for nid in topological_order(graph) if nid in wanted]
+    rank = {nid: position for position, nid in enumerate(order)}
+
+    external_index: dict[int, int] = {}
+    entries = []
+    for nid in order:
+        node = graph.node(nid)
+        operand_refs = []
+        for operand in node.operands:
+            if operand in wanted:
+                operand_refs.append(("n", rank[operand]))
+                continue
+            producer = graph.node(operand)
+            if producer.kind is OpKind.CONSTANT:
+                operand_refs.append(("c", producer.width,
+                                     int(producer.attrs["value"])))
+            else:
+                if operand not in external_index:
+                    external_index[operand] = len(external_index)
+                operand_refs.append(("i", external_index[operand],
+                                     producer.width))
+        attrs = tuple(sorted((key, repr(value))
+                             for key, value in node.attrs.items()))
+        is_output = (not node.is_source
+                     and (not graph.users_of(nid)
+                          or any(user not in wanted
+                                 for user in graph.users_of(nid))))
+        entries.append((node.kind.value, node.width, attrs,
+                        tuple(operand_refs), is_output))
+    return tuple(entries)
+
+
+def subgraph_fingerprint(graph: DataflowGraph, node_ids: Iterable[int]) -> str:
+    """Hex digest uniquely identifying the structure of an induced subgraph."""
+    digest = hashlib.sha256(repr(canonical_subgraph(graph, node_ids)).encode())
+    return digest.hexdigest()

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.aig.from_netlist import netlist_to_aig
 from repro.ir.graph import DataflowGraph
@@ -73,6 +73,28 @@ class SynthesisFlow:
             aig_depth=aig_depth,
             node_ids=wanted,
         )
+
+    def evaluate_batch(self, graph: DataflowGraph,
+                       node_sets: Sequence[Iterable[int]],
+                       names: Sequence[str] | None = None
+                       ) -> list[SynthesisReport]:
+        """Evaluate several subgraphs of one graph, in input order.
+
+        The base implementation is serial; :class:`LocalSynthesisBackend`
+        overrides it with a process-pool fan-out.
+
+        Args:
+            graph: the containing dataflow graph.
+            node_sets: one node-id collection per subgraph.
+            names: optional per-subgraph report names.
+
+        Returns:
+            One report per node set, in the same order.
+        """
+        if names is None:
+            names = [""] * len(node_sets)
+        return [self.evaluate_subgraph(graph, node_ids, name=name)
+                for node_ids, name in zip(node_sets, names)]
 
     def evaluate_graph(self, graph: DataflowGraph, name: str = "") -> SynthesisReport:
         """Synthesise an entire dataflow graph as one combinational block."""

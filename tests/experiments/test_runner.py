@@ -1,8 +1,11 @@
 """Tests for the experiment CLI runner."""
 
+import json
+
 import pytest
 
-from repro.experiments.runner import run_experiment
+from repro.experiments.runner import main, run_experiment, run_experiment_result
+from repro.experiments.serialize import SCHEMA_VERSION, experiment_payload
 
 
 def test_unknown_experiment_rejected():
@@ -20,3 +23,41 @@ def test_quick_fig5_report_lists_both_strategies():
     report = run_experiment("fig5", quick=True)
     assert "fanout" in report
     assert "delay" in report
+
+
+def test_json_flag_writes_machine_readable_payload(tmp_path, capsys):
+    path = tmp_path / "artifacts" / "fig5.json"
+    assert main(["fig5", "--quick", "--json", str(path)]) == 0
+    assert "fanout" in capsys.readouterr().out
+
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == SCHEMA_VERSION
+    assert payload["experiment"] == "fig5"
+    assert payload["quick"] is True
+    assert payload["jobs"] == 1
+    assert payload["elapsed_s"] > 0
+    curves = payload["data"]["curves"]
+    assert {curve["strategy"] for curve in curves} == {"delay", "fanout"}
+    for curve in curves:
+        assert curve["registers"]
+        assert all(isinstance(r, int) for r in curve["registers"])
+
+
+def test_jobs_flag_yields_identical_quality_results():
+    serial, _ = run_experiment_result("fig5", quick=True, jobs=1)
+    parallel, _ = run_experiment_result("fig5", quick=True, jobs=4)
+    assert serial == parallel  # dict of frozen dataclasses: field-wise equality
+
+
+def test_payload_rejects_unknown_experiment():
+    with pytest.raises(ValueError, match="unknown experiment"):
+        experiment_payload("table7", object())
+
+
+def test_payload_roundtrips_through_json():
+    result, _ = run_experiment_result("fig8", quick=True)
+    payload = experiment_payload("fig8", result, quick=True, jobs=1,
+                                 elapsed_s=1.0)
+    decoded = json.loads(json.dumps(payload))
+    assert decoded["data"]["num_points"] == len(result.points)
+    assert decoded["data"]["correlation"] == pytest.approx(result.correlation)

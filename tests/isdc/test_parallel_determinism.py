@@ -1,0 +1,92 @@
+"""Parallel batch evaluation must not change any ISDC result.
+
+The satellite requirement: ``jobs=1`` and ``jobs=4`` produce byte-identical
+``IsdcResult`` histories (wall-clock fields aside) on Table-I designs, and
+cache accounting stays correct under batch evaluation.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.designs.suite import table1_suite
+from repro.isdc.config import IsdcConfig
+from repro.isdc.scheduler import IsdcScheduler
+
+DESIGNS = ("rrot", "crc32")
+
+
+def _case(name):
+    return next(case for case in table1_suite() if case.name == name)
+
+
+def _run(name: str, jobs: int):
+    case = _case(name)
+    config = IsdcConfig(clock_period_ps=case.clock_period_ps,
+                        subgraphs_per_iteration=4, max_iterations=3,
+                        patience=3, track_estimation_error=True, jobs=jobs)
+    scheduler = IsdcScheduler(config)
+    result = scheduler.schedule(case.build())
+    scheduler.feedback.backend.close()
+    return result, scheduler.feedback.cache.stats
+
+
+def _canonical_history(result):
+    """The history with wall-clock fields zeroed (everything else compared)."""
+    return [dataclasses.replace(record, runtime_s=0.0)
+            for record in result.history]
+
+
+@pytest.mark.parametrize("design", DESIGNS)
+def test_jobs_do_not_change_isdc_histories(design):
+    serial, serial_stats = _run(design, jobs=1)
+    parallel, parallel_stats = _run(design, jobs=4)
+
+    assert pickle.dumps(_canonical_history(serial)) == \
+        pickle.dumps(_canonical_history(parallel))
+    assert serial.final_report.num_registers == \
+        parallel.final_report.num_registers
+    assert serial.final_report.stage_delays_ps == \
+        parallel.final_report.stage_delays_ps
+    assert serial.initial_report.slack_ps == parallel.initial_report.slack_ps
+
+    # Cache accounting is independent of the fan-out.
+    assert serial_stats.misses == parallel_stats.misses
+    assert serial_stats.hits == parallel_stats.hits
+    assert serial.subgraphs_evaluated == parallel.subgraphs_evaluated
+
+
+def test_estimator_backend_runs_the_loop():
+    """Quick mode: the cheap backend drives the whole loop end to end."""
+    case = _case("rrot")
+    config = IsdcConfig(clock_period_ps=case.clock_period_ps,
+                        subgraphs_per_iteration=4, max_iterations=2,
+                        patience=2, track_estimation_error=False,
+                        use_characterized_delays=False, backend="estimator")
+    result = IsdcScheduler(config).schedule(case.build())
+    assert result.iterations >= 0
+    assert result.final_report.num_registers <= \
+        result.initial_report.num_registers
+
+
+def test_disk_cache_warms_a_second_run(tmp_path):
+    case = _case("rrot")
+    path = tmp_path / "evals.jsonl"
+
+    def run():
+        config = IsdcConfig(clock_period_ps=case.clock_period_ps,
+                            subgraphs_per_iteration=4, max_iterations=2,
+                            patience=2, track_estimation_error=False,
+                            cache_path=str(path))
+        scheduler = IsdcScheduler(config)
+        result = scheduler.schedule(case.build())
+        return result, scheduler.feedback.cache.stats
+
+    cold_result, cold_stats = run()
+    warm_result, warm_stats = run()
+    assert cold_stats.misses > 0
+    assert warm_stats.disk_loaded == cold_stats.misses
+    assert warm_stats.misses == 0
+    assert warm_result.final_report.num_registers == \
+        cold_result.final_report.num_registers

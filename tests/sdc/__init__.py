@@ -1,0 +1,1 @@
+"""Test package (gives test modules unique import names)."""

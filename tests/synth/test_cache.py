@@ -1,5 +1,7 @@
 """Tests for the subgraph evaluation cache."""
 
+from repro.ir.builder import GraphBuilder
+from repro.synth.backend import LocalSynthesisBackend
 from repro.synth.cache import EvaluationCache
 from repro.synth.flow import SynthesisFlow
 
@@ -31,3 +33,125 @@ def test_clear_resets_everything(adder_chain_graph, library):
     cache.clear()
     assert len(cache) == 0
     assert cache.stats.total == 0
+
+
+def _sum_graph(name: str, width: int = 16):
+    builder = GraphBuilder(name)
+    x = builder.param("x", width)
+    y = builder.param("y", width)
+    total = builder.add(x, y, name="total")
+    builder.output(total, name="out")
+    return builder.graph, (total.node_id,)
+
+
+def test_same_name_different_structure_do_not_collide(library):
+    """The seed cache keyed on (graph.name, node_ids) and conflated distinct
+    graphs sharing a name; structural keys must not."""
+    graph_a, nodes_a = _sum_graph("design", width=8)
+    graph_b, nodes_b = _sum_graph("design", width=32)
+    cache = EvaluationCache(SynthesisFlow(library))
+    report_a = cache.evaluate(graph_a, nodes_a)
+    report_b = cache.evaluate(graph_b, nodes_b)
+    assert cache.stats.misses == 2
+    assert report_a.delay_ps != report_b.delay_ps
+
+
+def test_structurally_identical_blocks_hit_across_graphs(library):
+    graph_a, nodes_a = _sum_graph("first")
+    graph_b, nodes_b = _sum_graph("second")
+    cache = EvaluationCache(SynthesisFlow(library))
+    first = cache.evaluate(graph_a, nodes_a)
+    second = cache.evaluate(graph_b, nodes_b)
+    assert first is second
+    assert cache.stats.hits == 1
+
+
+def test_batch_accounting_matches_serial_semantics(adder_chain_graph, library):
+    names = {n.name: n.node_id for n in adder_chain_graph.nodes()}
+    cache = EvaluationCache(SynthesisFlow(library))
+    sets = [
+        [names["s1"]],
+        [names["s1"], names["s2"]],
+        [names["s2"], names["s1"]],  # duplicate of the previous set
+        [names["s1"]],               # duplicate of the first set
+    ]
+    reports = cache.evaluate_batch(adder_chain_graph, sets)
+    assert cache.stats.misses == 2
+    assert cache.stats.hits == 2
+    assert reports[1] is reports[2]
+    assert reports[0] is reports[3]
+    assert len(cache) == 2
+
+
+def test_batch_through_parallel_backend_keeps_accounting(adder_chain_graph,
+                                                         library):
+    names = {n.name: n.node_id for n in adder_chain_graph.nodes()}
+    sets = [[names["s1"]], [names["s2"]], [names["s3"]],
+            [names["s1"], names["s2"]]]
+    serial_cache = EvaluationCache(SynthesisFlow(library))
+    serial = serial_cache.evaluate_batch(adder_chain_graph, sets)
+    with LocalSynthesisBackend(library, jobs=2) as backend:
+        parallel_cache = EvaluationCache(backend)
+        parallel = parallel_cache.evaluate_batch(adder_chain_graph, sets)
+        assert parallel == serial
+        assert parallel_cache.stats.misses == serial_cache.stats.misses
+        assert parallel_cache.stats.hits == serial_cache.stats.hits
+
+
+def test_disk_layer_warms_future_caches(adder_chain_graph, library, tmp_path):
+    path = tmp_path / "cache" / "evals.jsonl"
+    names = {n.name: n.node_id for n in adder_chain_graph.nodes()}
+    cold = EvaluationCache(SynthesisFlow(library), disk_path=path)
+    report = cold.evaluate(adder_chain_graph, [names["s1"], names["s2"]])
+    assert cold.stats.misses == 1
+    assert path.exists()
+
+    warm = EvaluationCache(SynthesisFlow(library), disk_path=path)
+    assert warm.stats.disk_loaded == 1
+    reloaded = warm.evaluate(adder_chain_graph, [names["s1"], names["s2"]])
+    assert warm.stats.hits == 1
+    assert warm.stats.misses == 0
+    assert reloaded.delay_ps == report.delay_ps
+    assert reloaded.num_gates == report.num_gates
+
+
+def test_disk_layer_is_backend_configuration_specific(adder_chain_graph,
+                                                      library, tmp_path):
+    """Entries persisted by one backend configuration (e.g. the estimator)
+    must not be served to a differently-configured backend."""
+    from repro.synth.backend import EstimatorBackend
+
+    path = tmp_path / "evals.jsonl"
+    names = {n.name: n.node_id for n in adder_chain_graph.nodes()}
+    nodes = [names["s1"], names["s2"]]
+
+    estimator_cache = EvaluationCache(EstimatorBackend(library), disk_path=path)
+    estimated = estimator_cache.evaluate(adder_chain_graph, nodes)
+
+    synth_cache = EvaluationCache(SynthesisFlow(library), disk_path=path)
+    assert synth_cache.stats.disk_loaded == 0
+    measured = synth_cache.evaluate(adder_chain_graph, nodes)
+    assert synth_cache.stats.misses == 1
+    assert measured.delay_ps != estimated.delay_ps
+
+    # Same configuration -> the persisted entry is served again.
+    rewarmed = EvaluationCache(SynthesisFlow(library), disk_path=path)
+    assert rewarmed.stats.disk_loaded == 1
+
+
+def test_empty_cache_is_not_discarded_by_the_analyzer(library):
+    """An empty EvaluationCache is falsy (__len__); the analyzer must keep it."""
+    from repro.sdc.pipeline import PipelineAnalyzer
+
+    cache = EvaluationCache(SynthesisFlow(library))
+    analyzer = PipelineAnalyzer(flow=cache, library=library)
+    assert analyzer.flow is cache
+
+
+def test_disk_layer_skips_corrupt_lines(adder_chain_graph, library, tmp_path):
+    path = tmp_path / "evals.jsonl"
+    path.write_text("not json\n{\"key\": \"missing fields\"}\n")
+    cache = EvaluationCache(SynthesisFlow(library), disk_path=path)
+    assert cache.stats.disk_loaded == 0
+    names = {n.name: n.node_id for n in adder_chain_graph.nodes()}
+    assert cache.evaluate(adder_chain_graph, [names["s1"]]).delay_ps > 0

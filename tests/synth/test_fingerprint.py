@@ -1,0 +1,78 @@
+"""Tests for structural subgraph fingerprints."""
+
+from repro.ir.builder import GraphBuilder
+from repro.synth.fingerprint import canonical_subgraph, subgraph_fingerprint
+
+
+def _adder_pair(name: str, width: int = 16):
+    builder = GraphBuilder(name)
+    x = builder.param("x", width)
+    y = builder.param("y", width)
+    z = builder.param("z", width)
+    s1 = builder.add(x, y, name="s1")
+    s2 = builder.add(s1, z, name="s2")
+    builder.output(s2, name="out")
+    return builder.graph, (s1.node_id, s2.node_id)
+
+
+def test_same_structure_same_fingerprint_across_graphs():
+    graph_a, nodes_a = _adder_pair("first")
+    graph_b, nodes_b = _adder_pair("second")
+    assert subgraph_fingerprint(graph_a, nodes_a) == \
+        subgraph_fingerprint(graph_b, nodes_b)
+
+
+def test_same_name_different_structure_distinct():
+    """The seed cache keyed on graph.name; structurally distinct graphs that
+    share a name must not collide."""
+    graph_a, nodes_a = _adder_pair("design")
+    graph_b, nodes_b = _adder_pair("design", width=32)
+    assert subgraph_fingerprint(graph_a, nodes_a) != \
+        subgraph_fingerprint(graph_b, nodes_b)
+
+
+def test_node_id_order_does_not_matter():
+    graph, nodes = _adder_pair("design")
+    assert subgraph_fingerprint(graph, nodes) == \
+        subgraph_fingerprint(graph, reversed(nodes))
+    assert subgraph_fingerprint(graph, list(nodes) + [nodes[0]]) == \
+        subgraph_fingerprint(graph, nodes)
+
+
+def test_different_subsets_distinct(adder_chain_graph):
+    names = {n.name: n.node_id for n in adder_chain_graph.nodes()}
+    one = subgraph_fingerprint(adder_chain_graph, [names["s1"]])
+    two = subgraph_fingerprint(adder_chain_graph, [names["s1"], names["s2"]])
+    assert one != two
+
+
+def test_external_constant_value_enters_the_key():
+    def shifted(amount):
+        builder = GraphBuilder("shift")
+        x = builder.param("x", 16)
+        k = builder.constant(amount, 4)
+        node = builder.shl(x, k, name="shifted")
+        builder.output(node)
+        return builder.graph, (node.node_id,)
+
+    graph_a, nodes_a = shifted(1)
+    graph_b, nodes_b = shifted(3)
+    assert subgraph_fingerprint(graph_a, nodes_a) != \
+        subgraph_fingerprint(graph_b, nodes_b)
+
+
+def test_output_marking_enters_the_key(diamond_graph):
+    """Whether a node's result leaves the subgraph changes the lowered
+    netlist's outputs, so it must change the key."""
+    names = {n.name: n.node_id for n in diamond_graph.nodes()}
+    with_consumer = canonical_subgraph(diamond_graph,
+                                       [names["base"], names["left"]])
+    # 'base' feeds 'right' outside the set -> it is an output here.
+    entry = next(e for e in with_consumer if e[4])
+    assert entry is not None
+
+
+def test_canonical_form_is_hashable(adder_chain_graph):
+    form = canonical_subgraph(adder_chain_graph,
+                              adder_chain_graph.node_ids())
+    assert isinstance(hash(form), int)
