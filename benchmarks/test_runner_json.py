@@ -18,7 +18,7 @@ ROW_COLUMNS = {
     "benchmark", "clock_period_ps",
     "sdc_slack_ps", "sdc_stages", "sdc_registers", "sdc_time_s",
     "isdc_slack_ps", "isdc_stages", "isdc_registers", "isdc_time_s",
-    "isdc_iterations",
+    "isdc_iterations", "isdc_solver_time_s", "isdc_synthesis_time_s",
 }
 
 
@@ -33,10 +33,11 @@ def test_table1_json_artifact(benchmark, tmp_path):
 
     payload = benchmark.pedantic(run, rounds=1, iterations=1)
 
-    assert payload["schema"] == 1
+    assert payload["schema"] == 2
     assert payload["experiment"] == "table1"
     assert payload["quick"] is True
     assert payload["jobs"] == 2
+    assert payload["solver"] == "full"
     assert payload["elapsed_s"] > 0
 
     rows = payload["data"]["rows"]
@@ -45,6 +46,9 @@ def test_table1_json_artifact(benchmark, tmp_path):
         assert set(row) == ROW_COLUMNS
         assert row["isdc_registers"] <= row["sdc_registers"]
         assert row["isdc_stages"] <= row["sdc_stages"]
+        assert row["isdc_solver_time_s"] > 0
+        assert row["isdc_solver_time_s"] + row["isdc_synthesis_time_s"] <= \
+            row["isdc_time_s"]
 
     summary = payload["data"]["summary"]
     assert 0 < summary["register_ratio"] <= 1.0

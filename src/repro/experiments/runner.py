@@ -2,11 +2,15 @@
 
 Usage::
 
-    python -m repro.experiments.runner table1 [--quick] [--jobs N] [--json PATH]
+    python -m repro.experiments.runner table1 [--quick] [--jobs N] \
+        [--solver full|incremental] [--json PATH]
     python -m repro.experiments.runner fig1 [--jobs N] [--json PATH]
-    python -m repro.experiments.runner fig5 [--quick] [--jobs N] [--json PATH]
-    python -m repro.experiments.runner fig6 [--quick] [--jobs N] [--json PATH]
-    python -m repro.experiments.runner fig7 [--jobs N] [--json PATH]
+    python -m repro.experiments.runner fig5 [--quick] [--jobs N] \
+        [--solver full|incremental] [--json PATH]
+    python -m repro.experiments.runner fig6 [--quick] [--jobs N] \
+        [--solver full|incremental] [--json PATH]
+    python -m repro.experiments.runner fig7 [--jobs N] \
+        [--solver full|incremental] [--json PATH]
     python -m repro.experiments.runner fig8 [--jobs N] [--json PATH]
 
 Each sub-command regenerates one artefact of the paper's evaluation and
@@ -14,9 +18,14 @@ prints its ASCII rendition; ``--quick`` reduces iteration counts and design
 subsets so a run finishes in well under a minute.  ``--jobs N`` fans the
 independent units of work (benchmark cases, ablation configurations) out
 over N worker processes with deterministic result ordering -- every
-schedule-quality figure is identical to a serial run.  ``--json PATH``
+schedule-quality figure is identical to a serial run.  ``--solver`` picks
+the ISDC re-solve strategy for the experiments that run the iterative loop
+(``full`` rebuilds the LP every iteration, ``incremental`` patches the
+persistent problem in place; schedules and every quality figure are
+byte-identical, only the solver-time columns move).  ``--json PATH``
 additionally writes the machine-readable payload described in
-:mod:`repro.experiments.serialize`.
+:mod:`repro.experiments.serialize`; for ``table1`` the payload carries the
+per-row phase split ``isdc_solver_time_s`` / ``isdc_synthesis_time_s``.
 """
 
 from __future__ import annotations
@@ -44,14 +53,17 @@ def _small_cases():
     return [case for case in table1_suite() if case.name in wanted]
 
 
-def run_experiment_result(name: str, quick: bool = False, jobs: int = 1
-                          ) -> tuple[Any, str]:
+def run_experiment_result(name: str, quick: bool = False, jobs: int = 1,
+                          solver: str = "full") -> tuple[Any, str]:
     """Run one experiment and return ``(raw result, printable report)``.
 
     Args:
         name: one of ``table1``, ``fig1``, ``fig5``, ``fig6``, ``fig7``, ``fig8``.
         quick: use reduced settings.
         jobs: worker processes for the experiment's parallel fan-out.
+        solver: ISDC re-solve strategy for the loop-running experiments
+            (``table1``, ``fig5``, ``fig6``, ``fig7``); ``fig1``/``fig8``
+            do not run the loop and ignore it.
 
     Raises:
         ValueError: for an unknown experiment name.
@@ -60,7 +72,7 @@ def run_experiment_result(name: str, quick: bool = False, jobs: int = 1
         result = run_table1(subgraphs_per_iteration=8 if quick else 16,
                             max_iterations=5 if quick else 15,
                             cases=_small_cases() if quick else None,
-                            jobs=jobs)
+                            jobs=jobs, solver=solver)
         return result, format_table1(result)
     if name == "fig1":
         points = run_delay_profile(_small_cases() if quick else None,
@@ -69,17 +81,17 @@ def run_experiment_result(name: str, quick: bool = False, jobs: int = 1
     if name == "fig5":
         curves = run_extraction_ablation(
             subgraph_counts=(4, 16) if quick else (4, 8, 16),
-            iterations=8 if quick else 30, jobs=jobs)
+            iterations=8 if quick else 30, jobs=jobs, solver=solver)
         return curves, format_ablation(curves)
     if name == "fig6":
         curves = run_expansion_ablation(
             subgraph_counts=(8,) if quick else (4, 8, 16),
-            iterations=8 if quick else 30, jobs=jobs)
+            iterations=8 if quick else 30, jobs=jobs, solver=solver)
         return curves, format_ablation(curves)
     if name == "fig7":
         result = run_estimation_accuracy(
             _small_cases() if quick else None,
-            max_iterations=5 if quick else 10, jobs=jobs)
+            max_iterations=5 if quick else 10, jobs=jobs, solver=solver)
         return result, format_estimation_accuracy(result)
     if name == "fig8":
         result = run_aig_correlation(_small_cases() if quick else None,
@@ -88,18 +100,21 @@ def run_experiment_result(name: str, quick: bool = False, jobs: int = 1
     raise ValueError(f"unknown experiment {name!r}; expected table1 or fig1/5/6/7/8")
 
 
-def run_experiment(name: str, quick: bool = False, jobs: int = 1) -> str:
+def run_experiment(name: str, quick: bool = False, jobs: int = 1,
+                   solver: str = "full") -> str:
     """Run one experiment by name and return its printable report.
 
     Args:
         name: one of ``table1``, ``fig1``, ``fig5``, ``fig6``, ``fig7``, ``fig8``.
         quick: use reduced settings.
         jobs: worker processes for the experiment's parallel fan-out.
+        solver: ISDC re-solve strategy (see :func:`run_experiment_result`).
 
     Raises:
         ValueError: for an unknown experiment name.
     """
-    _, report = run_experiment_result(name, quick=quick, jobs=jobs)
+    _, report = run_experiment_result(name, quick=quick, jobs=jobs,
+                                      solver=solver)
     return report
 
 
@@ -113,6 +128,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for the experiment's parallel "
                              "fan-out (results are identical to --jobs 1)")
+    parser.add_argument("--solver", choices=("full", "incremental"),
+                        default="full",
+                        help="ISDC re-solve strategy: rebuild the LP every "
+                             "iteration (full) or patch the persistent "
+                             "problem in place (incremental); schedules are "
+                             "byte-identical either way")
     parser.add_argument("--json", dest="json_path", metavar="PATH",
                         help="also write the machine-readable result payload "
                              "to PATH")
@@ -126,14 +147,16 @@ def main(argv: list[str] | None = None) -> int:
     start = time.perf_counter()
     result, report = run_experiment_result(arguments.experiment,
                                            quick=arguments.quick,
-                                           jobs=arguments.jobs)
+                                           jobs=arguments.jobs,
+                                           solver=arguments.solver)
     elapsed = time.perf_counter() - start
     print(report)
 
     if arguments.json_path:
         payload = experiment_payload(arguments.experiment, result,
                                      quick=arguments.quick,
-                                     jobs=arguments.jobs, elapsed_s=elapsed)
+                                     jobs=arguments.jobs, elapsed_s=elapsed,
+                                     solver=arguments.solver)
         path = Path(arguments.json_path)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(payload, indent=2) + "\n")

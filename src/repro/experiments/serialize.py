@@ -5,17 +5,23 @@ can be archived, diffed and consumed by the benchmark suite (``--json PATH``
 on :mod:`repro.experiments.runner`).  The payload envelope is::
 
     {
-      "schema": 1,
+      "schema": 2,
       "experiment": "<name>",
       "quick": bool,
       "jobs": int,
+      "solver": "full" | "incremental",
       "elapsed_s": float,
       "data": {...}          # experiment-specific, see the builders below
     }
 
-Wall-clock fields (``elapsed_s`` and the per-row ``*_time_s`` columns) are
-the only values expected to differ between runs or ``--jobs`` settings; all
-schedule-quality figures are deterministic.
+Wall-clock fields (``elapsed_s`` and the per-row ``*_time_s`` columns,
+including the ``table1`` per-phase ``isdc_solver_time_s`` /
+``isdc_synthesis_time_s`` split) are the only values expected to differ
+between runs or ``--jobs``/``--solver`` settings; all schedule-quality
+figures are deterministic.
+
+Schema history: 2 added the ``solver`` envelope field and the ``table1``
+per-phase timing columns.
 """
 
 from __future__ import annotations
@@ -29,7 +35,7 @@ from repro.experiments.fig7 import EstimationAccuracyResult
 from repro.experiments.fig8 import AigCorrelationResult
 from repro.experiments.table1 import TableOneResult
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def _table1_payload(result: TableOneResult) -> dict[str, Any]:
@@ -87,7 +93,8 @@ _PAYLOAD_BUILDERS = {
 
 
 def experiment_payload(name: str, result: Any, quick: bool = False,
-                       jobs: int = 1, elapsed_s: float = 0.0) -> dict[str, Any]:
+                       jobs: int = 1, elapsed_s: float = 0.0,
+                       solver: str = "full") -> dict[str, Any]:
     """Wrap one experiment's result in the machine-readable envelope.
 
     Args:
@@ -96,6 +103,7 @@ def experiment_payload(name: str, result: Any, quick: bool = False,
         quick: whether reduced settings were used.
         jobs: worker processes the run was configured with.
         elapsed_s: wall-clock duration of the run.
+        solver: ISDC re-solve strategy the run was configured with.
 
     Raises:
         ValueError: for an unknown experiment name.
@@ -110,6 +118,7 @@ def experiment_payload(name: str, result: Any, quick: bool = False,
         "experiment": name,
         "quick": quick,
         "jobs": jobs,
+        "solver": solver,
         "elapsed_s": elapsed_s,
         "data": builder(result),
     }

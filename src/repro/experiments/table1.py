@@ -37,7 +37,9 @@ class TableOneRow:
 
     Columns mirror the paper: target clock period, then (slack, stage count,
     register count, schedule time) for the SDC baseline and for ISDC, plus
-    the number of ISDC iterations actually run.
+    the number of ISDC iterations actually run and the per-phase split of
+    the ISDC runtime (cumulative LP re-solve time vs. cumulative subgraph
+    synthesis time).
     """
 
     benchmark: str
@@ -51,6 +53,8 @@ class TableOneRow:
     isdc_registers: int
     isdc_time_s: float
     isdc_iterations: int
+    isdc_solver_time_s: float = 0.0
+    isdc_synthesis_time_s: float = 0.0
 
     @property
     def register_reduction(self) -> float:
@@ -104,14 +108,16 @@ class TableOneResult:
 
 
 def run_table1_case(case: BenchmarkCase, subgraphs_per_iteration: int = 16,
-                    max_iterations: int = 15, verbose: bool = False) -> TableOneRow:
+                    max_iterations: int = 15, verbose: bool = False,
+                    solver: str = "full") -> TableOneRow:
     """Run SDC + ISDC on one benchmark case and produce its Table-I row."""
     graph = case.build()
     config = IsdcConfig(clock_period_ps=case.clock_period_ps,
                         subgraphs_per_iteration=subgraphs_per_iteration,
                         max_iterations=max_iterations,
                         track_estimation_error=False,
-                        verbose=verbose)
+                        verbose=verbose,
+                        solver=solver)
     result = IsdcScheduler(config).schedule(graph)
     return TableOneRow(
         benchmark=case.name,
@@ -125,6 +131,8 @@ def run_table1_case(case: BenchmarkCase, subgraphs_per_iteration: int = 16,
         isdc_registers=result.final_report.num_registers,
         isdc_time_s=result.total_runtime_s,
         isdc_iterations=result.iterations,
+        isdc_solver_time_s=result.solver_runtime_s,
+        isdc_synthesis_time_s=result.synthesis_runtime_s,
     )
 
 
@@ -135,16 +143,18 @@ def _run_registry_case(payload: tuple) -> TableOneRow:
     worker, because :class:`BenchmarkCase` factories are lambdas and do not
     pickle.
     """
-    name, subgraphs_per_iteration, max_iterations = payload
+    name, subgraphs_per_iteration, max_iterations, solver = payload
     for case in table1_suite():
         if case.name == name:
-            return run_table1_case(case, subgraphs_per_iteration, max_iterations)
+            return run_table1_case(case, subgraphs_per_iteration, max_iterations,
+                                   solver=solver)
     raise KeyError(f"benchmark case {name!r} not in the Table-I suite")
 
 
 def run_table1(cases: list[BenchmarkCase] | None = None,
                subgraphs_per_iteration: int = 16, max_iterations: int = 15,
-               verbose: bool = False, jobs: int = 1) -> TableOneResult:
+               verbose: bool = False, jobs: int = 1,
+               solver: str = "full") -> TableOneResult:
     """Run the full Table-I benchmark (or a subset of its cases).
 
     Args:
@@ -157,6 +167,9 @@ def run_table1(cases: list[BenchmarkCase] | None = None,
             wall-clock timing columns differ).  Cases whose names are not in
             the Table-I registry cannot be shipped to workers and run
             serially.
+        solver: re-solve strategy for the ISDC loop ("full" or
+            "incremental"); schedule-quality figures are identical for both,
+            only the solver-time columns differ.
     """
     case_list = list(cases) if cases is not None else table1_suite()
     rows: list[TableOneRow | None] = [None] * len(case_list)
@@ -165,7 +178,8 @@ def run_table1(cases: list[BenchmarkCase] | None = None,
         registry = registry_case_names(case_list)
         indices = [i for i, case in enumerate(case_list)
                    if case.name in registry]
-        payloads = [(case_list[i].name, subgraphs_per_iteration, max_iterations)
+        payloads = [(case_list[i].name, subgraphs_per_iteration, max_iterations,
+                     solver)
                     for i in indices]
         for i, row in zip(indices, parallel_map(_run_registry_case, payloads,
                                                 jobs)):
@@ -174,7 +188,7 @@ def run_table1(cases: list[BenchmarkCase] | None = None,
     result = TableOneResult()
     for i, case in enumerate(case_list):
         row = rows[i] or run_table1_case(case, subgraphs_per_iteration,
-                                         max_iterations)
+                                         max_iterations, solver=solver)
         result.rows.append(row)
         if verbose:
             print(f"  {row.benchmark:35s} registers {row.sdc_registers:6d} -> "

@@ -34,6 +34,7 @@ class DelayMatrix:
         self.matrix = matrix
         self.index_of = index_of
         self._order = sorted(index_of, key=index_of.get)
+        self._dirty: set[tuple[int, int]] = set()
 
     # ------------------------------------------------------------ construction
 
@@ -46,7 +47,9 @@ class DelayMatrix:
 
     def copy(self) -> "DelayMatrix":
         """Deep copy (the ISDC loop keeps the running matrix across iterations)."""
-        return DelayMatrix(self.graph, self.matrix.copy(), dict(self.index_of))
+        duplicate = DelayMatrix(self.graph, self.matrix.copy(), dict(self.index_of))
+        duplicate._dirty = set(self._dirty)
+        return duplicate
 
     # ----------------------------------------------------------------- access
 
@@ -70,6 +73,29 @@ class DelayMatrix:
     def set(self, u: int, v: int, delay: float) -> None:
         """Overwrite one entry (used by the reformulation pass)."""
         self.matrix[self.index_of[u], self.index_of[v]] = delay
+        self._dirty.add((u, v))
+
+    # ------------------------------------------------------------ dirty pairs
+
+    def mark_dirty_indices(self, rows: np.ndarray, cols: np.ndarray) -> None:
+        """Record changed entries by matrix index (for vectorised writers)."""
+        order = self._order
+        self._dirty.update((order[int(r)], order[int(c)])
+                           for r, c in zip(rows, cols))
+
+    def dirty_pairs(self) -> set[tuple[int, int]]:
+        """Node-id pairs whose entries changed since the last consume."""
+        return set(self._dirty)
+
+    def consume_dirty(self) -> set[tuple[int, int]]:
+        """Return the accumulated dirty pairs and reset the tracker.
+
+        The ISDC loop drains this once per iteration and hands the delta to
+        :meth:`repro.sdc.problem.ScheduleProblem.update_timing`.
+        """
+        dirty = self._dirty
+        self._dirty = set()
+        return dirty
 
     # --------------------------------------------------------------- feedback
 
@@ -97,6 +123,8 @@ class DelayMatrix:
         if count:
             block[improvable] = delay_ps
             self.matrix[np.ix_(indices, indices)] = block
+            block_rows, block_cols = np.nonzero(improvable)
+            self.mark_dirty_indices(indices[block_rows], indices[block_cols])
         return count
 
     def update_with_feedback(self, feedback: Iterable[tuple[Iterable[int], float]]

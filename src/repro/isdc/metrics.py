@@ -26,6 +26,11 @@ class IterationRecord:
             (feedback-free) delay matrix -- the "original SDC" curve of the
             paper's Fig. 7.
         runtime_s: wall-clock time spent in this iteration.
+        solver_runtime_s: wall-clock time of the iteration's scheduling
+            re-solve (constraint/LP update or rebuild, LP solve, rounding
+            repair); for iteration 0 the baseline's constraint build + solve.
+        synthesis_runtime_s: wall-clock time spent extracting subgraphs and
+            evaluating them through the downstream flow (0 for iteration 0).
     """
 
     iteration: int
@@ -36,6 +41,8 @@ class IterationRecord:
     estimation_error: float | None = None
     naive_estimation_error: float | None = None
     runtime_s: float = 0.0
+    solver_runtime_s: float = 0.0
+    synthesis_runtime_s: float = 0.0
 
 
 @dataclass
@@ -54,6 +61,11 @@ class IsdcResult:
             initial SDC schedule and all feedback evaluations).
         baseline_runtime_s: wall-clock time of the initial SDC schedule alone.
         subgraphs_evaluated: total distinct subgraphs synthesised.
+        solver: the re-solve strategy the run used ("full" or "incremental").
+        solver_runtime_s: cumulative scheduling-solve time across the run
+            (sum of the per-iteration ``solver_runtime_s``).
+        synthesis_runtime_s: cumulative subgraph extraction + downstream
+            evaluation time across the run.
     """
 
     design: str
@@ -66,6 +78,9 @@ class IsdcResult:
     total_runtime_s: float = 0.0
     baseline_runtime_s: float = 0.0
     subgraphs_evaluated: int = 0
+    solver: str = "full"
+    solver_runtime_s: float = 0.0
+    synthesis_runtime_s: float = 0.0
 
     @property
     def register_reduction(self) -> float:

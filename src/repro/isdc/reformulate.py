@@ -25,15 +25,18 @@ from repro.isdc.delay_matrix import DelayMatrix
 from repro.sdc.delays import NOT_CONNECTED
 
 
-def _lower_entries(matrix: np.ndarray, column: int, candidates: np.ndarray) -> int:
+def _lower_entries(delay_matrix: DelayMatrix, column: int,
+                   candidates: np.ndarray) -> int:
     """Lower ``matrix[:, column]`` to ``candidates`` where justified.
 
     An entry is overwritten when the candidate is valid (connected) and either
     the current entry is larger or the pair was previously marked unconnected.
+    Changed entries are recorded in the matrix's dirty-pair tracker.
 
     Returns:
         Number of entries changed.
     """
+    matrix = delay_matrix.matrix
     current = matrix[:, column]
     valid = candidates != NOT_CONNECTED
     improve = valid & ((current > candidates) | (current == NOT_CONNECTED))
@@ -41,13 +44,18 @@ def _lower_entries(matrix: np.ndarray, column: int, candidates: np.ndarray) -> i
     if count:
         current[improve] = candidates[improve]
         matrix[:, column] = current
+        changed_rows = np.nonzero(improve)[0]
+        delay_matrix.mark_dirty_indices(changed_rows,
+                                        np.full(count, column, dtype=int))
     return count
 
 
 def propagate_delays(delay_matrix: DelayMatrix) -> int:
     """Re-propagate pairwise delays after feedback updates (Alg. 2 lines 1--16).
 
-    The matrix is modified in place.
+    The matrix is modified in place; every lowered entry is also reported to
+    the matrix's dirty-pair tracker so the incremental solver can patch just
+    the affected timing constraints.
 
     Returns:
         The total number of matrix entries that were lowered.
@@ -70,7 +78,7 @@ def propagate_delays(delay_matrix: DelayMatrix) -> int:
         candidates = np.where(connected, incoming + own_delay, NOT_CONNECTED)
         best = candidates.max(axis=1)
         best[column] = NOT_CONNECTED  # never touch the diagonal here
-        changed += _lower_entries(matrix, column, best)
+        changed += _lower_entries(delay_matrix, column, best)
 
     # Reverse sweep: propagate through users to catch the complementary
     # direction (delays from u forward into each of its users' cones).
@@ -92,6 +100,9 @@ def propagate_delays(delay_matrix: DelayMatrix) -> int:
         if count:
             current[improve] = best[improve]
             matrix[row, :] = current
+            changed_cols = np.nonzero(improve)[0]
+            delay_matrix.mark_dirty_indices(np.full(count, row, dtype=int),
+                                            changed_cols)
             changed += count
 
     return changed
@@ -125,5 +136,7 @@ def floyd_warshall_refine(delay_matrix: DelayMatrix) -> int:
         count = int(improve.sum())
         if count:
             matrix[improve] = candidates[improve]
+            improved_rows, improved_cols = np.nonzero(improve)
+            delay_matrix.mark_dirty_indices(improved_rows, improved_cols)
             changed += count
     return changed

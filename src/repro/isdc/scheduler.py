@@ -13,17 +13,10 @@ from repro.isdc.extraction import SubgraphExtractor
 from repro.isdc.feedback import FeedbackEngine
 from repro.isdc.metrics import IsdcResult, IterationRecord
 from repro.isdc.reformulate import propagate_delays
-from repro.sdc.constraints import ConstraintSystem
 from repro.sdc.pipeline import PipelineAnalyzer, count_pipeline_registers
-from repro.sdc.scheduler import (
-    Schedule,
-    SdcScheduler,
-    add_dependency_constraints,
-    add_timing_constraints,
-    register_weights,
-    users_map,
-)
-from repro.sdc.solver import solve_lp
+from repro.sdc.problem import ScheduleProblem
+from repro.sdc.scheduler import Schedule, SdcScheduler
+from repro.sdc.solver import ScheduleSolver, create_solver
 from repro.synth.backend import create_backend
 from repro.synth.estimator import CharacterizedOperatorModel
 from repro.tech.delay_model import OperatorModel
@@ -37,8 +30,18 @@ class IsdcScheduler:
     The loop mirrors the paper's Fig. 2: schedule with plain SDC, extract
     combinational subgraphs from the schedule, measure their post-synthesis
     delays, fold the measurements into the pairwise delay matrix (Alg. 1),
-    re-propagate the matrix (Alg. 2), rebuild the timing constraints, re-solve
+    re-propagate the matrix (Alg. 2), update the timing constraints, re-solve
     the LP, and repeat until register usage stops improving.
+
+    One persistent :class:`~repro.sdc.problem.ScheduleProblem` (built by the
+    baseline SDC schedule) is held for the whole loop, so the register
+    weights, users map and constraint system are computed once per graph.
+    How the per-iteration re-solve uses it is the config's ``solver`` knob:
+    ``"full"`` rebuilds everything from the delay matrix each iteration,
+    ``"incremental"`` patches only the timing bounds the iteration's dirty
+    delay-matrix entries touched.  Both strategies produce byte-identical
+    schedules and histories; after a run, ``last_problem`` and
+    ``last_solver`` expose the rebuild/patch counters.
 
     Args:
         config: loop configuration; a default :class:`IsdcConfig` is used
@@ -77,6 +80,8 @@ class IsdcScheduler:
                                        cache_path=self.config.cache_path)
         self.analyzer = PipelineAnalyzer(flow=self.feedback.backend,
                                          library=self.library)
+        self.last_problem: ScheduleProblem | None = None
+        self.last_solver: ScheduleSolver | None = None
 
     # ------------------------------------------------------------------ public
 
@@ -91,6 +96,10 @@ class IsdcScheduler:
                                 latency_weight=config.latency_weight)
         base_result = baseline.schedule(graph)
         baseline_runtime = base_result.runtime_s
+        problem = base_result.problem
+        solver = create_solver(config.solver)
+        self.last_problem = problem
+        self.last_solver = solver
 
         delay_matrix = DelayMatrix(graph, base_result.delay_matrix.copy(),
                                    dict(base_result.index_of))
@@ -105,6 +114,7 @@ class IsdcScheduler:
             num_registers=current_registers,
             estimation_error=self._estimation_error(current, delay_matrix),
             runtime_s=baseline_runtime,
+            solver_runtime_s=base_result.solve_runtime_s,
         )]
         self._log(history[-1])
 
@@ -119,11 +129,14 @@ class IsdcScheduler:
             if not subgraphs:
                 break
             feedback = self.feedback.evaluate(graph, subgraphs)
+            synthesis_runtime = time.perf_counter() - iteration_start
             updates = delay_matrix.update_with_feedback(
                 (item.node_ids, item.delay_ps) for item in feedback)
             updates += propagate_delays(delay_matrix)
 
-            current = self._reschedule(graph, delay_matrix)
+            solver_start = time.perf_counter()
+            current = self._reschedule(problem, solver, delay_matrix)
+            solver_runtime = time.perf_counter() - solver_start
             current_registers, _ = count_pipeline_registers(current)
             iterations_run = iteration
 
@@ -136,6 +149,8 @@ class IsdcScheduler:
                 estimation_error=self._estimation_error(current, delay_matrix),
                 naive_estimation_error=self._estimation_error(current, naive_matrix),
                 runtime_s=time.perf_counter() - iteration_start,
+                solver_runtime_s=solver_runtime,
+                synthesis_runtime_s=synthesis_runtime,
             )
             history.append(record)
             self._log(record)
@@ -163,23 +178,21 @@ class IsdcScheduler:
             total_runtime_s=total_runtime,
             baseline_runtime_s=baseline_runtime,
             subgraphs_evaluated=self.feedback.evaluations,
+            solver=config.solver,
+            solver_runtime_s=sum(r.solver_runtime_s for r in history),
+            synthesis_runtime_s=sum(r.synthesis_runtime_s for r in history),
         )
 
     # ----------------------------------------------------------------- helpers
 
-    def _reschedule(self, graph: DataflowGraph, delay_matrix: DelayMatrix
-                    ) -> Schedule:
-        """Rebuild the SDC problem from the updated matrix and re-solve it."""
-        system = ConstraintSystem()
-        add_dependency_constraints(system, graph)
-        for node in graph.nodes():
-            if node.is_source:
-                system.pin(node.node_id, 0)
-        add_timing_constraints(system, delay_matrix.matrix, delay_matrix.index_of,
-                               self.timing_budget_ps)
-        solution = solve_lp(system, register_weights(graph), users_map(graph),
-                            latency_weight=self.config.latency_weight)
-        return Schedule(graph=graph, clock_period_ps=self.config.clock_period_ps,
+    def _reschedule(self, problem: ScheduleProblem, solver: ScheduleSolver,
+                    delay_matrix: DelayMatrix) -> Schedule:
+        """Re-solve the persistent problem against the updated delay matrix."""
+        dirty = delay_matrix.consume_dirty()
+        solution = solver.solve(problem, delay_matrix.matrix,
+                                delay_matrix.index_of, dirty)
+        return Schedule(graph=problem.graph,
+                        clock_period_ps=self.config.clock_period_ps,
                         stages=solution)
 
     def _estimation_error(self, schedule: Schedule, delay_matrix: DelayMatrix

@@ -48,6 +48,8 @@ class ConstraintSystem:
     pinned: dict[int, int] = field(default_factory=dict)
     _constraints: list[DifferenceConstraint] = field(default_factory=list)
     _seen: set[tuple[int, int, int]] = field(default_factory=set, repr=False)
+    _timing_rows: dict[tuple[int, int], int] = field(default_factory=dict,
+                                                     repr=False)
 
     def add_variable(self, node_id: int) -> None:
         """Register a schedule variable."""
@@ -73,6 +75,8 @@ class ConstraintSystem:
         if key in self._seen:
             return False
         self._seen.add(key)
+        if kind == "timing":
+            self._timing_rows[(u, v)] = len(self._constraints)
         self._constraints.append(DifferenceConstraint(u, v, bound, kind))
         return True
 
@@ -86,6 +90,52 @@ class ConstraintSystem:
         This is Eq. 2 of the paper: ``s_source - s_sink <= -min_distance``.
         """
         return self.add(source, sink, -min_distance, kind="timing")
+
+    def timing_row(self, u: int, v: int) -> int | None:
+        """Stable row index of the timing constraint on ``(u, v)``, if any.
+
+        Row indices are positions in the constraint list and never move once
+        assigned: :meth:`set_timing_bound` replaces the constraint in place,
+        so cached LP rows and adjacency lists built over row indices stay
+        valid across delta updates.
+        """
+        return self._timing_rows.get((u, v))
+
+    def timing_bound(self, u: int, v: int) -> int | None:
+        """Current bound of the timing constraint on ``(u, v)``, if any."""
+        row = self._timing_rows.get((u, v))
+        if row is None:
+            return None
+        return self._constraints[row].bound
+
+    def num_timing_pairs(self) -> int:
+        """Number of node pairs currently carrying a timing constraint."""
+        return len(self._timing_rows)
+
+    def set_timing_bound(self, u: int, v: int, bound: int) -> bool:
+        """Replace the bound of the existing timing constraint on ``(u, v)``.
+
+        The constraint keeps its row identity (list position); only the bound
+        changes.
+
+        Returns:
+            True if the bound actually changed.
+
+        Raises:
+            KeyError: if no timing constraint exists for the pair.
+        """
+        row = self._timing_rows[(u, v)]
+        old = self._constraints[row]
+        if old.bound == bound:
+            return False
+        self._seen.discard((u, v, old.bound))
+        self._seen.add((u, v, bound))
+        self._constraints[row] = DifferenceConstraint(u, v, bound, "timing")
+        return True
+
+    def constraint_at(self, row: int) -> DifferenceConstraint:
+        """The constraint stored at a given row index."""
+        return self._constraints[row]
 
     def constraints(self, kind: str | None = None) -> list[DifferenceConstraint]:
         """All constraints, optionally filtered by ``kind``."""

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 import time
 from dataclasses import dataclass, field
 from typing import Mapping
@@ -10,11 +9,28 @@ from typing import Mapping
 import numpy as np
 
 from repro.ir.graph import DataflowGraph
-from repro.ir.ops import OpKind
 from repro.sdc.constraints import ConstraintSystem
-from repro.sdc.delays import NOT_CONNECTED, critical_path_matrix, node_delays
+from repro.sdc.delays import critical_path_matrix, node_delays
+from repro.sdc.problem import (
+    ScheduleProblem,
+    add_dependency_constraints,
+    add_timing_constraints,
+    build_system,
+    register_weights,
+    users_map,
+)
 from repro.sdc.solver import solve_lp
 from repro.tech.delay_model import OperatorModel
+
+__all__ = [
+    "Schedule",
+    "SchedulingResult",
+    "SdcScheduler",
+    "add_dependency_constraints",
+    "add_timing_constraints",
+    "register_weights",
+    "users_map",
+]
 
 
 @dataclass(frozen=True)
@@ -72,6 +88,11 @@ class SchedulingResult:
         index_of: node id -> matrix row/column.
         num_constraints: total difference constraints in the LP.
         runtime_s: wall-clock scheduling time in seconds.
+        constraints: the constraint system that was solved.
+        problem: the persistent :class:`~repro.sdc.problem.ScheduleProblem`
+            built for the graph; the ISDC loop adopts it for all re-solves.
+        solve_runtime_s: wall-clock time of constraint build + LP solve alone
+            (excludes delay characterisation).
     """
 
     schedule: Schedule
@@ -81,62 +102,8 @@ class SchedulingResult:
     num_constraints: int
     runtime_s: float
     constraints: ConstraintSystem = field(repr=False, default_factory=ConstraintSystem)
-
-
-def register_weights(graph: DataflowGraph) -> dict[int, float]:
-    """Objective weight (bit width) of each value that may need registering.
-
-    Constants are excluded: they synthesise to tie cells, never to pipeline
-    registers.
-    """
-    weights: dict[int, float] = {}
-    for node in graph.nodes():
-        if node.kind is OpKind.CONSTANT:
-            continue
-        if graph.users_of(node.node_id):
-            weights[node.node_id] = float(node.width)
-    return weights
-
-
-def users_map(graph: DataflowGraph) -> dict[int, list[int]]:
-    """Users of every node (convenience for the LP objective)."""
-    return {node.node_id: graph.users_of(node.node_id) for node in graph.nodes()}
-
-
-def add_dependency_constraints(system: ConstraintSystem, graph: DataflowGraph) -> None:
-    """Add producer-before-consumer constraints for every dataflow edge."""
-    for node in graph.nodes():
-        system.add_variable(node.node_id)
-        for operand in set(node.operands):
-            system.add_dependency(operand, node.node_id)
-
-
-def add_timing_constraints(system: ConstraintSystem, matrix: np.ndarray,
-                           index_of: Mapping[int, int],
-                           clock_period_ps: float) -> int:
-    """Add Eq. 2 timing constraints for every pair whose delay exceeds the clock.
-
-    Returns:
-        The number of constraints added.
-    """
-    order = sorted(index_of, key=index_of.get)
-    added = 0
-    rows, cols = np.nonzero(matrix > clock_period_ps)
-    for row, col in zip(rows.tolist(), cols.tolist()):
-        if row == col:
-            # A single operation cannot be split across cycles; an
-            # over-long operation is a clock-period selection problem,
-            # not a schedulable constraint.
-            continue
-        delay = matrix[row, col]
-        if delay == NOT_CONNECTED:
-            continue
-        min_distance = math.ceil(delay / clock_period_ps) - 1
-        if min_distance <= 0:
-            continue
-        if system.add_timing(order[row], order[col], min_distance):
-            added += 1
-    return added
+    problem: ScheduleProblem | None = field(repr=False, default=None)
+    solve_runtime_s: float = 0.0
 
 
 class SdcScheduler:
@@ -173,14 +140,8 @@ class SdcScheduler:
     def build_constraints(self, graph: DataflowGraph, matrix: np.ndarray,
                           index_of: Mapping[int, int]) -> ConstraintSystem:
         """Build the full constraint system for ``graph``."""
-        system = ConstraintSystem()
-        add_dependency_constraints(system, graph)
-        if self.pin_sources:
-            for node in graph.nodes():
-                if node.is_source:
-                    system.pin(node.node_id, 0)
-        add_timing_constraints(system, matrix, index_of, self.timing_budget_ps)
-        return system
+        return build_system(graph, matrix, index_of, self.timing_budget_ps,
+                            self.pin_sources)
 
     def schedule(self, graph: DataflowGraph) -> SchedulingResult:
         """Schedule ``graph`` and return the full :class:`SchedulingResult`."""
@@ -188,16 +149,23 @@ class SdcScheduler:
         delays = node_delays(graph, self.delay_model)
         self._check_clock(graph, delays)
         matrix, index_of = critical_path_matrix(graph, delays)
-        system = self.build_constraints(graph, matrix, index_of)
-        solution = solve_lp(system, register_weights(graph), users_map(graph),
+        solve_start = time.perf_counter()
+        problem = ScheduleProblem(graph, matrix, index_of,
+                                  self.timing_budget_ps,
+                                  latency_weight=self.latency_weight,
+                                  pin_sources=self.pin_sources)
+        solution = solve_lp(problem.system, problem.register_weights,
+                            problem.users_map,
                             latency_weight=self.latency_weight)
-        runtime = time.perf_counter() - start_time
+        end_time = time.perf_counter()
         schedule = Schedule(graph=graph, clock_period_ps=self.clock_period_ps,
                             stages=solution)
         return SchedulingResult(schedule=schedule, delays=delays,
                                 delay_matrix=matrix, index_of=index_of,
-                                num_constraints=len(system), runtime_s=runtime,
-                                constraints=system)
+                                num_constraints=len(problem.system),
+                                runtime_s=end_time - start_time,
+                                constraints=problem.system, problem=problem,
+                                solve_runtime_s=end_time - solve_start)
 
     def _check_clock(self, graph: DataflowGraph, delays: dict[int, float]) -> None:
         """Reject clock periods smaller than the largest single-operation delay."""

@@ -1,6 +1,6 @@
 """Solvers for SDC constraint systems.
 
-Two solution paths are provided:
+Three solution paths are provided:
 
 * :func:`solve_asap` / :func:`solve_alap` -- pure-Python least/greatest
   fixpoint propagation over the difference constraints (Bellman-Ford style).
@@ -10,18 +10,29 @@ Two solution paths are provided:
   objective XLS's SDC scheduler uses), solved with scipy's HiGHS backend.
   The constraint matrix is totally unimodular, so the LP optimum is integral;
   rounding plus a fixpoint repair guards against floating-point noise.
+* the **re-solve strategies** :class:`FullSolver` and
+  :class:`IncrementalSolver` -- one interface
+  (:meth:`ScheduleSolver.solve`) over a persistent
+  :class:`~repro.sdc.problem.ScheduleProblem`, used by the ISDC loop.  The
+  full strategy reproduces the historical behaviour (rebuild the constraint
+  system and LP from the delay matrix on every call); the incremental one
+  patches only the dirty timing bounds of the cached LP, warm-starts the
+  rounding repair, and falls back to a full rebuild when the constraint
+  structure changes.  Both yield byte-identical schedules: the LP input
+  arrays are identical either way (see :mod:`repro.sdc.problem`), and the
+  repair fixpoint is unique regardless of relaxation order.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Mapping
+from typing import Mapping, Protocol
 
 import numpy as np
-from scipy import sparse
 from scipy.optimize import linprog
 
 from repro.sdc.constraints import ConstraintSystem
+from repro.sdc.problem import AssembledLp, ScheduleProblem, assemble_lp
 
 
 class SdcInfeasibleError(Exception):
@@ -35,22 +46,44 @@ def _propagate_lower_bounds(system: ConstraintSystem,
     Every constraint ``s_u - s_v <= b`` is read as ``s_v >= s_u - b``; values
     are raised until all constraints hold.  Pinned variables may not move.
 
+    Divergence is detected per variable: each relaxation records the length
+    of the chain of constraints that produced the new value, and a chain
+    longer than ``|V|`` must revisit some variable at a strictly larger
+    value -- i.e. traverse a positive cycle -- because in a cycle-free system
+    every improving chain is simple.  This keeps legitimately large systems
+    (many variables, large bounds) out of the failure path that a global
+    update budget would conflate with real divergence.
+
     Raises:
         SdcInfeasibleError: if a pinned variable would have to be raised or
-            the system diverges (positive cycle).
+            a positive cycle is detected (the error names the variable).
     """
-    values = dict(start)
     by_source: dict[int, list] = defaultdict(list)
     for constraint in system:
         by_source[constraint.u].append(constraint)
+    return _relax_to_fixpoint(system, dict(start), by_source.__getitem__,
+                              deque(start))
 
-    queue: deque[int] = deque(values)
-    passes: dict[int, int] = defaultdict(int)
-    limit = max(4, len(system.variables)) * max(4, len(system) + 1)
-    total_updates = 0
+
+def _relax_to_fixpoint(system: ConstraintSystem, values: dict[int, int],
+                       outgoing, queue: deque[int]) -> dict[int, int]:
+    """Shared relaxation core of the cold and warm-started propagation.
+
+    Args:
+        system: the constraint system (pins and variable count).
+        values: starting values, raised in place.
+        outgoing: callable mapping a variable to its outgoing constraints.
+        queue: initial worklist of variables to relax from.
+
+    The least fixpoint above the starting values is unique (the feasible
+    region of difference constraints is closed under pointwise minimum), so
+    any seeding that covers every violated constraint yields the same result.
+    """
+    max_chain = len(system.variables)
+    chain: dict[int, int] = defaultdict(int)
     while queue:
         u = queue.popleft()
-        for constraint in by_source[u]:
+        for constraint in outgoing(u):
             required = values[u] - constraint.bound
             if values[constraint.v] < required:
                 if constraint.v in system.pinned:
@@ -58,13 +91,45 @@ def _propagate_lower_bounds(system: ConstraintSystem,
                         f"pinned variable {constraint.v} violates "
                         f"s_{constraint.u} - s_{constraint.v} <= {constraint.bound}")
                 values[constraint.v] = required
-                passes[constraint.v] += 1
-                total_updates += 1
-                if total_updates > limit:
-                    raise SdcInfeasibleError("constraint propagation diverged "
-                                             "(positive cycle in SDC system)")
+                chain[constraint.v] = chain[u] + 1
+                if chain[constraint.v] > max_chain:
+                    raise SdcInfeasibleError(
+                        f"constraint propagation diverged at variable "
+                        f"s_{constraint.v}: its value was derived through a "
+                        f"chain of more than {max_chain} constraints, which "
+                        f"implies a positive cycle through "
+                        f"s_{constraint.u} - s_{constraint.v} <= "
+                        f"{constraint.bound}")
                 queue.append(constraint.v)
     return values
+
+
+def _repair_with_adjacency(system: ConstraintSystem, start: dict[int, int],
+                           adjacency: dict[int, list[int]]) -> dict[int, int]:
+    """Warm-started fixpoint repair over cached row adjacency.
+
+    Instead of seeding the worklist with every variable, one sweep finds the
+    constraints the starting values violate and seeds only their sources --
+    when the LP rounding is already feasible (the common case once the ISDC
+    loop converges towards a schedule), the repair is a single O(m) check
+    with zero relaxations.  The fixpoint reached is identical to the cold
+    propagation's (see :func:`_relax_to_fixpoint`).
+    """
+    violated_sources: list[int] = []
+    seen: set[int] = set()
+    for constraint in system:
+        if start[constraint.u] - constraint.bound > start[constraint.v]:
+            if constraint.u not in seen:
+                seen.add(constraint.u)
+                violated_sources.append(constraint.u)
+    if not violated_sources:
+        return start
+
+    def outgoing(u: int):
+        return [system.constraint_at(row) for row in adjacency.get(u, ())]
+
+    return _relax_to_fixpoint(system, dict(start), outgoing,
+                              deque(violated_sources))
 
 
 def solve_asap(system: ConstraintSystem) -> dict[int, int]:
@@ -101,6 +166,28 @@ def solve_alap(system: ConstraintSystem, latency: int) -> dict[int, int]:
     return solution
 
 
+def _solve_assembled(lp: AssembledLp) -> np.ndarray:
+    """Run HiGHS on an assembled LP and return the raw solution vector."""
+    if lp.a_ub is not None:
+        result = linprog(lp.objective, A_ub=lp.a_ub, b_ub=lp.b_ub,
+                         bounds=lp.bounds, method="highs")
+    else:
+        result = linprog(lp.objective, bounds=lp.bounds, method="highs")
+    if not result.success:
+        raise SdcInfeasibleError(f"LP solve failed: {result.message}")
+    return result.x
+
+
+def _round_solution(system: ConstraintSystem, lp: AssembledLp,
+                    x: np.ndarray) -> dict[int, int]:
+    """Round the LP solution to integers and re-impose the pins."""
+    rounded = {node_id: int(round(x[index]))
+               for node_id, index in lp.var_index.items()}
+    for node_id, pin in system.pinned.items():
+        rounded[node_id] = pin
+    return rounded
+
+
 def solve_lp(system: ConstraintSystem,
              register_weights: Mapping[int, float] | None = None,
              users: Mapping[int, list[int]] | None = None,
@@ -126,73 +213,113 @@ def solve_lp(system: ConstraintSystem,
     Raises:
         SdcInfeasibleError: if the LP (or the rounding repair) is infeasible.
     """
-    register_weights = register_weights or {}
-    users = users or {}
-
-    variables = sorted(system.variables)
-    var_index = {node_id: i for i, node_id in enumerate(variables)}
-    lifetime_nodes = sorted(
-        node_id for node_id, weight in register_weights.items()
-        if weight > 0 and users.get(node_id) and node_id in var_index)
-    lifetime_index = {node_id: len(variables) + i
-                      for i, node_id in enumerate(lifetime_nodes)}
-    num_vars = len(variables) + len(lifetime_nodes)
-
-    rows: list[int] = []
-    cols: list[int] = []
-    data: list[float] = []
-    bounds_rhs: list[float] = []
-
-    def add_row(entries: list[tuple[int, float]], rhs: float) -> None:
-        row = len(bounds_rhs)
-        for col, coeff in entries:
-            rows.append(row)
-            cols.append(col)
-            data.append(coeff)
-        bounds_rhs.append(rhs)
-
-    for constraint in system:
-        add_row([(var_index[constraint.u], 1.0), (var_index[constraint.v], -1.0)],
-                float(constraint.bound))
-
-    for node_id in lifetime_nodes:
-        for user in set(users[node_id]):
-            if user not in var_index:
-                continue
-            add_row([(var_index[user], 1.0), (var_index[node_id], -1.0),
-                     (lifetime_index[node_id], -1.0)], 0.0)
-
-    objective = np.zeros(num_vars)
-    for node_id in lifetime_nodes:
-        objective[lifetime_index[node_id]] = float(register_weights[node_id])
-    for node_id in variables:
-        objective[var_index[node_id]] += latency_weight
-
-    variable_bounds: list[tuple[float, float | None]] = []
-    for node_id in variables:
-        if node_id in system.pinned:
-            pin = float(system.pinned[node_id])
-            variable_bounds.append((pin, pin))
-        else:
-            variable_bounds.append((0.0, None))
-    variable_bounds.extend([(0.0, None)] * len(lifetime_nodes))
-
-    if bounds_rhs:
-        a_ub = sparse.coo_matrix((data, (rows, cols)),
-                                 shape=(len(bounds_rhs), num_vars))
-        result = linprog(objective, A_ub=a_ub.tocsr(), b_ub=np.array(bounds_rhs),
-                         bounds=variable_bounds, method="highs")
-    else:
-        result = linprog(objective, bounds=variable_bounds, method="highs")
-
-    if not result.success:
-        raise SdcInfeasibleError(f"LP solve failed: {result.message}")
-
-    rounded = {node_id: int(round(result.x[var_index[node_id]]))
-               for node_id in variables}
-    for node_id, pin in system.pinned.items():
-        rounded[node_id] = pin
+    lp = assemble_lp(system, register_weights, users, latency_weight)
+    rounded = _round_solution(system, lp, _solve_assembled(lp))
     repaired = _propagate_lower_bounds(system, rounded)
     if not system.is_feasible_schedule(repaired):
         raise SdcInfeasibleError("rounded LP solution could not be repaired")
     return repaired
+
+
+# --------------------------------------------------------------------------
+# Re-solve strategies over a persistent ScheduleProblem
+# --------------------------------------------------------------------------
+
+
+class ScheduleSolver(Protocol):
+    """One re-solve of a persistent scheduling problem.
+
+    ``solve`` receives the problem, the current delay matrix (with its node
+    index) and the set of matrix entries dirtied since the previous solve,
+    and returns the integral schedule.  Implementations are free to ignore
+    the dirty set (the full strategy does).
+    """
+
+    name: str
+
+    def solve(self, problem: ScheduleProblem, matrix: np.ndarray,
+              index_of: Mapping[int, int],
+              dirty_pairs: set[tuple[int, int]] | None = None
+              ) -> dict[int, int]:  # pragma: no cover - protocol
+        ...
+
+
+class FullSolver:
+    """Rebuild the constraint system and LP from scratch on every call.
+
+    This is the historical behaviour of the ISDC loop's re-schedule step and
+    the reference the incremental strategy is held byte-identical to.
+    """
+
+    name = "full"
+
+    def solve(self, problem: ScheduleProblem, matrix: np.ndarray,
+              index_of: Mapping[int, int],
+              dirty_pairs: set[tuple[int, int]] | None = None
+              ) -> dict[int, int]:
+        problem.rebuild(matrix, index_of)
+        return solve_lp(problem.system, problem.register_weights,
+                        problem.users_map, problem.latency_weight)
+
+
+class IncrementalSolver:
+    """Patch the cached LP in place and warm-start the rounding repair.
+
+    Per call, the strategy asks the problem to swap the dirty timing bounds
+    into the cached LP's right-hand side
+    (:meth:`~repro.sdc.problem.ScheduleProblem.update_timing`); if the
+    constraint structure changed instead, it falls back to a full rebuild.
+    The LP is then solved on the cached (or freshly rebuilt) arrays, and the
+    integer rounding is repaired with a worklist seeded only from violated
+    constraints over the problem's cached row adjacency
+    (:func:`_repair_with_adjacency`), keeping the previous schedule's
+    fixpoint machinery warm across iterations.
+
+    Attributes:
+        incremental_solves: calls served by in-place bound patching.
+        fallback_solves: calls that required a structural rebuild.
+    """
+
+    name = "incremental"
+
+    def __init__(self) -> None:
+        self.incremental_solves = 0
+        self.fallback_solves = 0
+
+    def solve(self, problem: ScheduleProblem, matrix: np.ndarray,
+              index_of: Mapping[int, int],
+              dirty_pairs: set[tuple[int, int]] | None = None
+              ) -> dict[int, int]:
+        if dirty_pairs is None or not problem.update_timing(dirty_pairs,
+                                                            matrix, index_of):
+            problem.rebuild(matrix, index_of)
+            self.fallback_solves += 1
+        else:
+            self.incremental_solves += 1
+        lp = problem.lp()
+        rounded = _round_solution(problem.system, lp, _solve_assembled(lp))
+        repaired = _repair_with_adjacency(problem.system, rounded,
+                                          problem.repair_adjacency())
+        if not problem.system.is_feasible_schedule(repaired):
+            raise SdcInfeasibleError("rounded LP solution could not be repaired")
+        return repaired
+
+
+SOLVERS = {
+    "full": FullSolver,
+    "incremental": IncrementalSolver,
+}
+
+
+def create_solver(name: str) -> ScheduleSolver:
+    """Construct a re-solve strategy by registry name.
+
+    Raises:
+        ValueError: for an unknown strategy name.
+    """
+    try:
+        factory = SOLVERS[name]
+    except KeyError:
+        known = ", ".join(sorted(SOLVERS))
+        raise ValueError(f"unknown solver {name!r}; expected one of {known}")
+    return factory()

@@ -34,7 +34,8 @@ def _run(name: str, jobs: int):
 
 def _canonical_history(result):
     """The history with wall-clock fields zeroed (everything else compared)."""
-    return [dataclasses.replace(record, runtime_s=0.0)
+    return [dataclasses.replace(record, runtime_s=0.0, solver_runtime_s=0.0,
+                                synthesis_runtime_s=0.0)
             for record in result.history]
 
 

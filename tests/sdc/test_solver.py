@@ -2,8 +2,16 @@
 
 import pytest
 
+from repro.designs.arith import (
+    build_binary_divide,
+    build_fpexp32,
+    build_rrot,
+)
 from repro.sdc.constraints import ConstraintSystem
+from repro.sdc.delays import critical_path_matrix, node_delays
+from repro.sdc.scheduler import SdcScheduler
 from repro.sdc.solver import SdcInfeasibleError, solve_alap, solve_asap, solve_lp
+from repro.tech.delay_model import OperatorModel
 
 
 def _chain_system(length=4, distance=1):
@@ -53,6 +61,86 @@ class TestAsapAlap:
         system.add_timing(1, 0, 1)
         with pytest.raises(SdcInfeasibleError):
             solve_asap(system)
+
+    def test_positive_cycle_error_names_a_variable(self):
+        system = ConstraintSystem()
+        system.add_timing(0, 1, 1)
+        system.add_timing(1, 2, 1)
+        system.add_timing(2, 0, 1)
+        with pytest.raises(SdcInfeasibleError,
+                           match=r"diverged at variable s_\d"):
+            solve_asap(system)
+
+    def test_large_legitimate_system_does_not_false_positive(self):
+        # A long chain with large distances needs many total relaxations --
+        # far more than a small global update budget would allow -- but has
+        # no positive cycle, so per-variable chain detection must accept it.
+        length = 200
+        system = ConstraintSystem()
+        for i in range(length - 1):
+            system.add_timing(i, i + 1, 5)
+        # Side chains joining the trunk multiply the relaxation traffic.
+        for i in range(0, length - 1, 10):
+            system.add_timing(1000 + i, i + 1, 3)
+        system.pin(0, 0)
+        schedule = solve_asap(system)
+        assert schedule[length - 1] == 5 * (length - 1)
+        assert system.is_feasible_schedule(schedule)
+
+
+class TestAlapCoverage:
+    """Satellite coverage for solve_alap: mirroring, infeasibility, bounds."""
+
+    def test_pinned_variables_are_mirrored(self):
+        # Pin a variable mid-schedule: ALAP must keep it exactly there,
+        # which exercises the latency - pin mirroring of the pins.
+        system = ConstraintSystem()
+        system.pin(1, 2)
+        system.add_timing(0, 1, 1)
+        system.add_timing(1, 2, 1)
+        schedule = solve_alap(system, latency=6)
+        assert schedule[1] == 2
+        assert schedule[0] <= 1      # must finish a cycle before the pin
+        assert schedule[2] == 6      # floats to the latency bound
+        assert system.is_feasible_schedule(schedule)
+
+    def test_pin_beyond_latency_is_infeasible(self):
+        system = ConstraintSystem()
+        system.pin(0, 4)
+        system.add_timing(0, 1, 2)
+        with pytest.raises(SdcInfeasibleError):
+            solve_alap(system, latency=5)
+
+    def test_latency_too_small_names_the_limit(self):
+        # No pins: the mirrored solve succeeds but the back-transformed
+        # schedule would need negative time steps, the dedicated
+        # "latency too small" failure path.
+        system = ConstraintSystem()
+        for i in range(5):
+            system.add_timing(i, i + 1, 2)
+        with pytest.raises(SdcInfeasibleError, match="too small"):
+            solve_alap(system, latency=3)
+
+    @pytest.mark.parametrize("build", [
+        lambda: build_rrot(width=32, num_rounds=6),
+        lambda: build_binary_divide(width=8),
+        lambda: build_fpexp32(polynomial_degree=3, num_segments=2),
+    ], ids=["rrot", "binary-divide", "fpexp32"])
+    def test_alap_dominates_asap_on_arith_designs(self, build):
+        graph = build()
+        scheduler = SdcScheduler(delay_model=OperatorModel(),
+                                 clock_period_ps=5000.0)
+        delays = node_delays(graph, scheduler.delay_model)
+        matrix, index_of = critical_path_matrix(graph, delays)
+        system = scheduler.build_constraints(graph, matrix, index_of)
+        asap = solve_asap(system)
+        latency = max(asap.values())
+        alap = solve_alap(system, latency)
+        assert system.is_feasible_schedule(alap)
+        for variable in system.variables:
+            assert alap[variable] >= asap[variable]
+        for node_id, pin in system.pinned.items():
+            assert alap[node_id] == pin
 
 
 class TestLp:
