@@ -82,7 +82,7 @@ def test_runner_json_exposes_per_phase_timing(benchmark, tmp_path):
 
     payload = benchmark.pedantic(run, rounds=1, iterations=1)
 
-    assert payload["schema"] == 2
+    assert payload["schema"] == 3
     assert payload["solver"] == "incremental"
     for row in payload["data"]["rows"]:
         assert row["isdc_solver_time_s"] > 0

@@ -33,7 +33,7 @@ def test_table1_json_artifact(benchmark, tmp_path):
 
     payload = benchmark.pedantic(run, rounds=1, iterations=1)
 
-    assert payload["schema"] == 2
+    assert payload["schema"] == 3
     assert payload["experiment"] == "table1"
     assert payload["quick"] is True
     assert payload["jobs"] == 2

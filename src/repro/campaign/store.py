@@ -1,0 +1,200 @@
+"""The campaign run store: an append-only JSONL checkpoint file.
+
+Layout: one header record followed by one record per completed job::
+
+    {"kind": "header", "schema": 1, "name": ..., "fingerprint": ...,
+     "num_jobs": N, "spec": {...}}
+    {"kind": "job", "job_id": ..., "design": ..., "result": {...},
+     "runtime_s": ...}
+
+The store is the campaign's durability layer: the executor appends (and
+flushes) a record the moment a job completes, so killing a sweep loses at
+most the jobs in flight.  On resume the header's spec fingerprint must match
+the requested spec -- a store can never silently satisfy a *different*
+campaign -- and already-recorded job ids are skipped.
+
+A kill can leave a torn final line (no trailing newline, or half-written
+JSON).  Loading tolerates exactly that: a corrupt *trailing* line is
+truncated away (its job simply re-runs) while corruption anywhere earlier is
+an error, because records behind it may then be unreachable garbage.
+
+Everything in the ``result`` payload is deterministic (no wall-clock
+fields); per-job ``runtime_s`` lives beside it and never enters
+:meth:`RunStore.final_payload`, so two stores of the same campaign --
+interrupted-and-resumed or not, under any ``PYTHONHASHSEED`` -- agree byte
+for byte on the final payload.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.campaign.spec import CampaignJob, CampaignSpec
+
+STORE_SCHEMA_VERSION = 1
+
+
+class StoreMismatchError(ValueError):
+    """The store on disk belongs to a different campaign or schema."""
+
+
+class RunStore:
+    """Checkpointed results of one campaign, keyed by job id.
+
+    Args:
+        path: JSONL file backing the store; ``None`` keeps everything in
+            memory (no durability, useful for API runs and tests).
+
+    Attributes:
+        path: the backing file (or ``None``).
+        results: job id -> job record (``design``, ``result``, ``runtime_s``).
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.results: dict[str, dict] = {}
+        self._header: dict | None = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    def open(self, spec: "CampaignSpec", resume: bool = False,
+             jobs: "list[CampaignJob] | None" = None) -> None:
+        """Bind the store to ``spec``, loading checkpoints when resuming.
+
+        Args:
+            spec: the campaign about to run.
+            resume: load an existing file instead of refusing to overwrite.
+            jobs: the spec's expanded job list, if the caller already has it
+                (saves re-expanding the cross product).
+
+        Raises:
+            FileExistsError: the file exists and ``resume`` is false.
+            StoreMismatchError: the file's header disagrees with ``spec``.
+            ValueError: the file is corrupt before its final line.
+        """
+        self._header = {
+            "kind": "header",
+            "schema": STORE_SCHEMA_VERSION,
+            "name": spec.name,
+            "fingerprint": spec.fingerprint(),
+            "num_jobs": len(spec.jobs() if jobs is None else jobs),
+            "spec": spec.to_dict(),
+        }
+        if self.path is None:
+            return
+        if self.path.exists() and self.path.stat().st_size > 0:
+            if not resume:
+                raise FileExistsError(
+                    f"run store {self.path} already exists; pass resume=True "
+                    "(--resume) to continue it or choose another path")
+            self._load()
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("w") as handle:
+                handle.write(json.dumps(self._header) + "\n")
+
+    def _load(self) -> None:
+        raw = self.path.read_bytes()
+        lines = raw.split(b"\n")
+        # Everything after the final newline is a torn tail (possibly empty).
+        complete, tail = lines[:-1], lines[-1]
+        records = []
+        for position, line in enumerate(complete):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if position == len(complete) - 1 and not tail:
+                    tail = line  # corrupt final line, newline and all
+                    complete = complete[:position]
+                    break
+                raise ValueError(
+                    f"run store {self.path} is corrupt at line {position + 1}; "
+                    "only the trailing line of an interrupted run may be torn")
+        if not records or records[0].get("kind") != "header":
+            raise StoreMismatchError(
+                f"run store {self.path} has no campaign header")
+        header = records[0]
+        if header.get("schema") != STORE_SCHEMA_VERSION:
+            raise StoreMismatchError(
+                f"run store {self.path} has schema {header.get('schema')}, "
+                f"expected {STORE_SCHEMA_VERSION}")
+        if header.get("fingerprint") != self._header["fingerprint"]:
+            raise StoreMismatchError(
+                f"run store {self.path} belongs to campaign "
+                f"{header.get('name')!r} (fingerprint "
+                f"{header.get('fingerprint')!r}); it cannot resume this one")
+        for record in records[1:]:
+            if record.get("kind") == "job" and "job_id" in record:
+                self.results[record["job_id"]] = record
+        if tail:
+            # Drop the torn line so future appends start on a clean boundary.
+            kept = b"\n".join(complete) + b"\n" if complete else b""
+            self.path.write_bytes(kept)
+
+    # --------------------------------------------------------------- records
+
+    def record(self, job: "CampaignJob", result: dict,
+               runtime_s: float) -> None:
+        """Checkpoint one completed job (appended and flushed immediately)."""
+        entry = {
+            "kind": "job",
+            "job_id": job.job_id,
+            "design": job.design,
+            "result": result,
+            "runtime_s": runtime_s,
+        }
+        self.results[job.job_id] = entry
+        if self.path is None:
+            return
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(entry) + "\n")
+            handle.flush()
+
+    @property
+    def completed(self) -> set[str]:
+        """Ids of all checkpointed jobs."""
+        return set(self.results)
+
+    def missing(self, spec: "CampaignSpec",
+                jobs: "list[CampaignJob] | None" = None) -> list["CampaignJob"]:
+        """The spec's jobs that have no checkpoint yet, in canonical order."""
+        jobs = spec.jobs() if jobs is None else jobs
+        return [job for job in jobs if job.job_id not in self.results]
+
+    # ---------------------------------------------------------------- export
+
+    def final_payload(self, spec: "CampaignSpec",
+                      jobs: "list[CampaignJob] | None" = None) -> dict:
+        """Deterministic summary of the whole campaign.
+
+        Jobs appear in the spec's canonical order with their deterministic
+        ``result`` payloads only -- no wall-clock fields -- so the payload is
+        byte-identical across runs, resumes and ``PYTHONHASHSEED`` values.
+
+        Raises:
+            KeyError: if any job of the spec has not completed yet.
+        """
+        entries = []
+        for job in (spec.jobs() if jobs is None else jobs):
+            record = self.results[job.job_id]
+            entries.append({
+                "job_id": job.job_id,
+                "design": job.design,
+                "config": job.config,
+                "result": record["result"],
+            })
+        return {
+            "schema": STORE_SCHEMA_VERSION,
+            "name": spec.name,
+            "fingerprint": spec.fingerprint(),
+            "num_jobs": len(entries),
+            "jobs": entries,
+        }
+
+
+__all__ = ["RunStore", "StoreMismatchError", "STORE_SCHEMA_VERSION"]

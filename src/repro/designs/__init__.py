@@ -9,7 +9,10 @@ operation mixes (MAC arrays, colour pipelines, ALU chains), the same relative
 size ordering, and widths chosen so the same clock-period split (2500 ps vs.
 5000 ps for multiplier-heavy designs) applies.
 
-All generators are deterministic pure functions of their parameters.
+All generators are deterministic pure functions of their parameters.  The
+seeded parametric generator (:mod:`repro.designs.generator`) extends the
+fixed suite with arbitrary random-but-reproducible designs for campaign
+sweeps, addressable by ``gen:`` names next to the Table-I rows.
 """
 
 from repro.designs.arith import (
@@ -27,9 +30,21 @@ from repro.designs.ml_core import (
     build_ml_core_datapath1,
     build_ml_core_datapath2,
 )
+from repro.designs.generator import (
+    GeneratorParams,
+    build_generated_design,
+    case_from_name,
+    generated_case,
+    generated_suite,
+)
 from repro.designs.suite import BenchmarkCase, table1_suite, ablation_design
 
 __all__ = [
+    "GeneratorParams",
+    "build_generated_design",
+    "case_from_name",
+    "generated_case",
+    "generated_suite",
     "build_binary_divide",
     "build_fpexp32",
     "build_float32_fast_rsqrt",

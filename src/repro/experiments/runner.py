@@ -12,20 +12,38 @@ Usage::
     python -m repro.experiments.runner fig7 [--jobs N] \
         [--solver full|incremental] [--json PATH]
     python -m repro.experiments.runner fig8 [--jobs N] [--json PATH]
+    python -m repro.experiments.runner campaign (--spec SPEC.json | --quick) \
+        [--out STORE.jsonl] [--resume] [--jobs N] [--json PATH]
 
 Each sub-command regenerates one artefact of the paper's evaluation and
 prints its ASCII rendition; ``--quick`` reduces iteration counts and design
 subsets so a run finishes in well under a minute.  ``--jobs N`` fans the
-independent units of work (benchmark cases, ablation configurations) out
-over N worker processes with deterministic result ordering -- every
-schedule-quality figure is identical to a serial run.  ``--solver`` picks
-the ISDC re-solve strategy for the experiments that run the iterative loop
-(``full`` rebuilds the LP every iteration, ``incremental`` patches the
-persistent problem in place; schedules and every quality figure are
-byte-identical, only the solver-time columns move).  ``--json PATH``
-additionally writes the machine-readable payload described in
-:mod:`repro.experiments.serialize`; for ``table1`` the payload carries the
-per-row phase split ``isdc_solver_time_s`` / ``isdc_synthesis_time_s``.
+independent units of work (benchmark cases, ablation configurations,
+campaign jobs) out over N worker processes with deterministic result
+ordering -- every schedule-quality figure is identical to a serial run.
+``--solver`` picks the ISDC re-solve strategy for the experiments that run
+the iterative loop (``full`` rebuilds the LP every iteration,
+``incremental`` patches the persistent problem in place; schedules and
+every quality figure are byte-identical, only the solver-time columns
+move).  ``--json PATH`` additionally writes the machine-readable payload
+described in :mod:`repro.experiments.serialize`; for ``table1`` the payload
+carries the per-row phase split ``isdc_solver_time_s`` /
+``isdc_synthesis_time_s``.
+
+``campaign`` runs a (design x configuration) sweep described by a JSON spec
+file (:class:`repro.campaign.spec.CampaignSpec` fields; ``--quick`` uses
+the built-in generated-design smoke spec instead).  ``--out`` names the
+JSONL run store checkpointing every completed job; re-running with
+``--resume`` skips checkpointed jobs, so an interrupted sweep continues
+where it stopped and still produces the identical final payload.
+
+Example::
+
+    python -m repro.experiments.runner campaign --quick \
+        --out runs/quick.jsonl --jobs 4 --json runs/quick.json
+    # interrupted?  finish it:
+    python -m repro.experiments.runner campaign --quick \
+        --out runs/quick.jsonl --resume --json runs/quick.json
 """
 
 from __future__ import annotations
@@ -36,6 +54,7 @@ import time
 from pathlib import Path
 from typing import Any
 
+from repro.campaign import CampaignSpec, RunStore, quick_spec, run_campaign
 from repro.designs.suite import table1_suite
 from repro.experiments.fig1 import format_profile, run_delay_profile
 from repro.experiments.fig5 import format_ablation, run_extraction_ablation
@@ -44,8 +63,9 @@ from repro.experiments.fig7 import format_estimation_accuracy, run_estimation_ac
 from repro.experiments.fig8 import format_aig_correlation, run_aig_correlation
 from repro.experiments.serialize import experiment_payload
 from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.tables import format_campaign
 
-EXPERIMENTS = ("table1", "fig1", "fig5", "fig6", "fig7", "fig8")
+EXPERIMENTS = ("table1", "fig1", "fig5", "fig6", "fig7", "fig8", "campaign")
 
 
 def _small_cases():
@@ -54,20 +74,37 @@ def _small_cases():
 
 
 def run_experiment_result(name: str, quick: bool = False, jobs: int = 1,
-                          solver: str = "full") -> tuple[Any, str]:
+                          solver: str = "full",
+                          spec: CampaignSpec | None = None,
+                          store_path: str | None = None,
+                          resume: bool = False) -> tuple[Any, str]:
     """Run one experiment and return ``(raw result, printable report)``.
 
     Args:
-        name: one of ``table1``, ``fig1``, ``fig5``, ``fig6``, ``fig7``, ``fig8``.
+        name: ``table1``, ``fig1``/``5``/``6``/``7``/``8`` or ``campaign``.
         quick: use reduced settings.
         jobs: worker processes for the experiment's parallel fan-out.
         solver: ISDC re-solve strategy for the loop-running experiments
             (``table1``, ``fig5``, ``fig6``, ``fig7``); ``fig1``/``fig8``
             do not run the loop and ignore it.
+        spec: the ``campaign`` sweep description; defaults to the built-in
+            quick spec when ``quick`` is set.
+        store_path: the ``campaign`` JSONL run store (in-memory when omitted).
+        resume: resume the ``campaign`` store instead of refusing to reuse it.
 
     Raises:
-        ValueError: for an unknown experiment name.
+        ValueError: for an unknown experiment name, or ``campaign`` without
+            a spec and without ``quick``.
     """
+    if name == "campaign":
+        if spec is None:
+            if not quick:
+                raise ValueError(
+                    "campaign needs a spec (--spec PATH) or --quick")
+            spec = quick_spec()
+        result = run_campaign(spec, RunStore(store_path), jobs=jobs,
+                              resume=resume)
+        return result, format_campaign(result)
     if name == "table1":
         result = run_table1(subgraphs_per_iteration=8 if quick else 16,
                             max_iterations=5 if quick else 15,
@@ -137,18 +174,42 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", dest="json_path", metavar="PATH",
                         help="also write the machine-readable result payload "
                              "to PATH")
+    parser.add_argument("--spec", dest="spec_path", metavar="SPEC.json",
+                        help="campaign only: JSON sweep description "
+                             "(CampaignSpec fields); --quick uses the "
+                             "built-in generated-design smoke spec")
+    parser.add_argument("--out", dest="store_path", metavar="STORE.jsonl",
+                        help="campaign only: JSONL run store checkpointing "
+                             "every completed job (in-memory when omitted)")
+    parser.add_argument("--resume", action="store_true",
+                        help="campaign only: skip jobs already checkpointed "
+                             "in --out instead of refusing to reuse it")
     arguments = parser.parse_args(argv)
     if arguments.jobs < 1:
         parser.error("--jobs must be at least 1")
     if arguments.json_path and Path(arguments.json_path).is_dir():
         parser.error(f"--json {arguments.json_path!r} is a directory, "
                      "expected a file path")
+    spec = None
+    if arguments.experiment == "campaign":
+        if arguments.spec_path:
+            spec = CampaignSpec.from_file(arguments.spec_path)
+        elif not arguments.quick:
+            parser.error("campaign needs --spec PATH or --quick")
+        if arguments.resume and not arguments.store_path:
+            parser.error("--resume needs --out STORE.jsonl to resume from")
+    elif arguments.spec_path or arguments.store_path or arguments.resume:
+        parser.error("--spec/--out/--resume apply to the campaign "
+                     "experiment only")
 
     start = time.perf_counter()
     result, report = run_experiment_result(arguments.experiment,
                                            quick=arguments.quick,
                                            jobs=arguments.jobs,
-                                           solver=arguments.solver)
+                                           solver=arguments.solver,
+                                           spec=spec,
+                                           store_path=arguments.store_path,
+                                           resume=arguments.resume)
     elapsed = time.perf_counter() - start
     print(report)
 

@@ -5,7 +5,7 @@ can be archived, diffed and consumed by the benchmark suite (``--json PATH``
 on :mod:`repro.experiments.runner`).  The payload envelope is::
 
     {
-      "schema": 2,
+      "schema": 3,
       "experiment": "<name>",
       "quick": bool,
       "jobs": int,
@@ -18,10 +18,14 @@ Wall-clock fields (``elapsed_s`` and the per-row ``*_time_s`` columns,
 including the ``table1`` per-phase ``isdc_solver_time_s`` /
 ``isdc_synthesis_time_s`` split) are the only values expected to differ
 between runs or ``--jobs``/``--solver`` settings; all schedule-quality
-figures are deterministic.
+figures are deterministic.  The ``campaign`` experiment's ``data`` section
+carries no wall-clock fields at all: it is byte-identical across runs,
+resumes and ``PYTHONHASHSEED`` values.
 
 Schema history: 2 added the ``solver`` envelope field and the ``table1``
-per-phase timing columns.
+per-phase timing columns; 3 added the ``campaign`` experiment payload and
+the ``table1`` per-row ``isdc_evaluations`` column (true synthesis runs,
+disk-cache answers excluded).
 """
 
 from __future__ import annotations
@@ -29,13 +33,14 @@ from __future__ import annotations
 from dataclasses import asdict
 from typing import Any
 
+from repro.campaign.executor import CampaignRunResult
 from repro.experiments.fig1 import DesignPoint, profile_summary
 from repro.experiments.fig5 import AblationCurve
 from repro.experiments.fig7 import EstimationAccuracyResult
 from repro.experiments.fig8 import AigCorrelationResult
 from repro.experiments.table1 import TableOneResult
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 def _table1_payload(result: TableOneResult) -> dict[str, Any]:
@@ -82,7 +87,13 @@ def _correlation_payload(result: AigCorrelationResult) -> dict[str, Any]:
     }
 
 
+def _campaign_payload(result: CampaignRunResult) -> dict[str, Any]:
+    # The store's final payload is already canonical and wall-clock-free.
+    return result.payload
+
+
 _PAYLOAD_BUILDERS = {
+    "campaign": _campaign_payload,
     "table1": _table1_payload,
     "fig1": _profile_payload,
     "fig5": _ablation_payload,

@@ -35,6 +35,36 @@ def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
     return cov / math.sqrt(var_x * var_y)
 
 
+def format_campaign(result) -> str:
+    """ASCII rendition of a campaign sweep's per-job outcomes.
+
+    Args:
+        result: a :class:`~repro.campaign.executor.CampaignRunResult`.
+    """
+    headers = ["Job", "Design", "Clock (ps)", "Extract", "Expand", "Solver",
+               "m", "Regs SDC", "Regs ISDC", "Stages", "Iters", "Evals"]
+    rows = []
+    for job in result.payload["jobs"]:
+        config = job["config"]
+        outcome = job["result"]
+        design = job["design"]
+        if len(design) > 40:
+            design = design[:37] + "..."
+        rows.append([
+            job["job_id"][:8], design, f"{config['clock_period_ps']:.0f}",
+            config["extraction"], config["expansion"], config["solver"],
+            config["subgraphs_per_iteration"],
+            outcome["initial"]["registers"], outcome["final"]["registers"],
+            outcome["final"]["stages"], outcome["iterations"],
+            outcome["evaluations"],
+        ])
+    summary = (f"campaign {result.payload['name']!r}: "
+               f"{result.payload['num_jobs']} jobs "
+               f"({result.executed} executed, {result.skipped} resumed) "
+               f"in {result.elapsed_s:.2f}s")
+    return format_table(headers, rows) + "\n" + summary
+
+
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
     """Render a simple fixed-width ASCII table."""
     columns = [[str(h)] + [str(row[i]) for row in rows] for i, h in enumerate(headers)]

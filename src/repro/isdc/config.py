@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 
 class ExtractionStrategy(enum.Enum):
@@ -108,3 +108,25 @@ class IsdcConfig:
             self.extraction = ExtractionStrategy(self.extraction)
         if isinstance(self.expansion, str):
             self.expansion = ExpansionStrategy(self.expansion)
+
+    def to_payload(self) -> dict:
+        """Canonical JSON-serialisable form of this configuration.
+
+        Enums become their string values; field order is the declaration
+        order, so ``json.dumps(config.to_payload(), sort_keys=True)`` is a
+        stable identity for campaign job ids and spec fingerprints.
+        """
+        payload = asdict(self)
+        payload["extraction"] = self.extraction.value
+        payload["expansion"] = self.expansion.value
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "IsdcConfig":
+        """Rebuild a configuration from :meth:`to_payload` output.
+
+        Raises:
+            TypeError: on unknown fields (a payload from a newer schema).
+            ValueError: on invalid field values.
+        """
+        return cls(**payload)

@@ -117,7 +117,7 @@ def critical_in_stage_path(schedule: Schedule, delay_matrix: DelayMatrix,
     for node_id in topological_order(graph):
         if node_id not in cone or node_id not in best:
             continue
-        for user in set(graph.users_of(node_id)):
+        for user in sorted(set(graph.users_of(node_id))):
             if user not in cone or schedule.stage_of(user) != stage:
                 continue
             candidate = best[node_id] + delay_matrix.individual_delay(user)
@@ -138,11 +138,14 @@ def fanout_score(graph: DataflowGraph, sink: int, delay_ps: float,
     """The paper's Eq. 3 fanout-driven score for a candidate path.
 
     ``(bit_count(r(vj)) + D(ccp)/Tclk) / (num_users(r(vj)) + 1)`` -- wide
-    registers with few consumers score highest; the delay ratio (kept below
-    1.0, as any valid schedule guarantees) only breaks ties.
+    registers with few consumers score highest; the delay ratio mostly breaks
+    ties (any valid schedule keeps it below 1.0).  Estimates *above* the
+    clock period -- common in early iterations, before feedback lands -- keep
+    their real ratio so over-period candidates still rank by delay instead of
+    collapsing onto one flattened score.
     """
     node = graph.node(sink)
-    ratio = min(delay_ps / clock_period_ps, 0.999) if clock_period_ps > 0 else 0.0
+    ratio = delay_ps / clock_period_ps if clock_period_ps > 0 else 0.0
     return (node.width + ratio) / (graph.num_users(sink) + 1)
 
 
@@ -161,7 +164,9 @@ def enumerate_candidate_paths(schedule: Schedule, delay_matrix: DelayMatrix,
     candidates: list[CandidatePath] = []
     for sink in registered_nodes(schedule):
         cone = in_stage_ancestors(schedule, sink)
-        sources = [nid for nid in cone if nid != sink]
+        # Sorted iteration keeps max()'s tie-break between equal-delay
+        # sources independent of set order (and thus of PYTHONHASHSEED).
+        sources = sorted(nid for nid in cone if nid != sink)
         if sources:
             best_source = max(
                 sources,

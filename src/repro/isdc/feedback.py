@@ -79,10 +79,19 @@ class FeedbackEngine:
 
     @property
     def evaluations(self) -> int:
-        """Number of distinct subgraphs synthesised so far."""
-        return self.cache.stats.misses
+        """Number of distinct subgraphs actually synthesised so far.
+
+        Counts true backend runs only: a miss answered by a disk-warmed
+        cache record is a :attr:`disk_hits` entry, not a synthesis.
+        """
+        return self.cache.stats.synth_runs
 
     @property
     def cache_hits(self) -> int:
-        """Number of evaluations answered from the cache."""
+        """Number of evaluations answered from the in-memory cache."""
         return self.cache.stats.hits
+
+    @property
+    def disk_hits(self) -> int:
+        """Number of evaluations answered from the on-disk cache layer."""
+        return self.cache.stats.disk_hits

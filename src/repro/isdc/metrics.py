@@ -60,7 +60,8 @@ class IsdcResult:
         total_runtime_s: total wall-clock scheduling time (including the
             initial SDC schedule and all feedback evaluations).
         baseline_runtime_s: wall-clock time of the initial SDC schedule alone.
-        subgraphs_evaluated: total distinct subgraphs synthesised.
+        subgraphs_evaluated: total distinct subgraphs synthesised (true
+            backend runs; disk-cache answers are excluded).
         solver: the re-solve strategy the run used ("full" or "incremental").
         solver_runtime_s: cumulative scheduling-solve time across the run
             (sum of the per-iteration ``solver_runtime_s``).

@@ -13,8 +13,8 @@ unavailable.  Submitted callables and arguments must be picklable.
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import Executor, ProcessPoolExecutor
-from typing import Any, Callable, Iterable, Sequence, TypeVar
+from concurrent.futures import Executor, ProcessPoolExecutor, as_completed
+from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -51,6 +51,35 @@ def parallel_map(function: Callable[[_T], _R], items: Sequence[_T],
     with ProcessPoolExecutor(max_workers=workers,
                              mp_context=pool_context()) as executor:
         return list(executor.map(function, items))
+
+
+def parallel_imap_unordered(function: Callable[[_T], _R], items: Sequence[_T],
+                            jobs: int = 1) -> Iterator[tuple[int, _R]]:
+    """Yield ``(index, function(item))`` pairs as items finish.
+
+    Unlike :func:`parallel_map` this is a generator that surfaces each result
+    the moment its worker completes, which lets callers checkpoint
+    incrementally (the campaign executor's per-job run store).  The serial
+    fast path (``jobs <= 1`` or a single item) yields in item order; with
+    workers the yield order is completion order, so callers needing
+    determinism must re-order by the yielded index.
+
+    Args:
+        function: picklable callable applied to every item.
+        items: the work items (picklable when ``jobs > 1``).
+        jobs: maximum worker processes; ``1`` runs serially in-process.
+    """
+    workers = effective_jobs(jobs, len(items))
+    if workers <= 1:
+        for index, item in enumerate(items):
+            yield index, function(item)
+        return
+    with ProcessPoolExecutor(max_workers=workers,
+                             mp_context=pool_context()) as executor:
+        futures = {executor.submit(function, item): index
+                   for index, item in enumerate(items)}
+        for future in as_completed(futures):
+            yield futures[future], future.result()
 
 
 class PersistentPool:
@@ -106,5 +135,5 @@ def split_round_robin(items: Sequence[_T], chunks: int) -> list[list[_T]]:
     return dealt
 
 
-__all__ = ["PersistentPool", "effective_jobs", "parallel_map", "pool_context",
-           "split_round_robin"]
+__all__ = ["PersistentPool", "effective_jobs", "parallel_imap_unordered",
+           "parallel_map", "pool_context", "split_round_robin"]

@@ -48,10 +48,19 @@ def _backend_signature(backend) -> str:
 
 @dataclass
 class CacheStatistics:
-    """Hit/miss counters of an :class:`EvaluationCache`."""
+    """Hit/miss counters of an :class:`EvaluationCache`.
+
+    A *miss* is any lookup the in-memory layer could not answer.  Misses
+    split into ``disk_hits`` (answered by a disk-warmed record, no synthesis
+    run) and ``synth_runs`` (forwarded to the backend); ``misses ==
+    disk_hits + synth_runs`` always holds.  Consumers reporting "distinct
+    subgraphs synthesised" must read ``synth_runs``, not ``misses``.
+    """
 
     hits: int = 0
     misses: int = 0
+    disk_hits: int = 0
+    synth_runs: int = 0
     disk_loaded: int = 0
 
     @property
@@ -82,6 +91,10 @@ class EvaluationCache:
         self.backend = backend
         self.stats = CacheStatistics()
         self._entries: dict[str, SynthesisReport] = {}
+        # Disk-warmed records live in a second-level dict so that answering
+        # from them is visible in the accounting (stats.disk_hits) instead of
+        # masquerading as a synthesis run.
+        self._disk_entries: dict[str, SynthesisReport] = {}
         self._disk_path = Path(disk_path) if disk_path is not None else None
         self._backend_key = _backend_signature(backend)
         self._load_disk()
@@ -102,8 +115,9 @@ class EvaluationCache:
         Only the distinct missing subgraphs are forwarded to the backend (in
         one ``evaluate_batch`` call, so a parallel backend fans them out);
         duplicates within the batch are evaluated once and counted as one
-        miss plus hits, matching serial semantics.  Results come back in
-        input order.
+        miss plus hits, matching serial semantics.  A miss answered by the
+        disk-warmed layer counts as a disk hit, not a synthesis run.  Results
+        come back in input order.
 
         Args:
             graph: the containing dataflow graph.
@@ -127,6 +141,11 @@ class EvaluationCache:
                 self.stats.hits += 1
                 continue
             self.stats.misses += 1
+            if key in self._disk_entries:
+                self.stats.disk_hits += 1
+                self._entries[key] = self._disk_entries[key]
+                continue
+            self.stats.synth_runs += 1
             missing_order.append(key)
             missing_seen.add(key)
             missing_sets.append(node_ids)
@@ -166,8 +185,8 @@ class EvaluationCache:
                 key = record["key"]
             except (KeyError, TypeError, ValueError, json.JSONDecodeError):
                 continue  # skip corrupt lines rather than fail the run
-            if key not in self._entries:
-                self._entries[key] = report
+            if key not in self._disk_entries:
+                self._disk_entries[key] = report
                 self.stats.disk_loaded += 1
 
     def _store_disk(self, key: str, report: SynthesisReport) -> None:
@@ -199,6 +218,10 @@ class EvaluationCache:
         return len(self._entries)
 
     def clear(self) -> None:
-        """Drop all cached entries and reset statistics (disk file untouched)."""
+        """Drop all cached entries and reset statistics.
+
+        The disk file and the records pre-loaded from it are untouched, so
+        lookups after a clear can still be answered by the disk layer.
+        """
         self._entries.clear()
-        self.stats = CacheStatistics()
+        self.stats = CacheStatistics(disk_loaded=len(self._disk_entries))

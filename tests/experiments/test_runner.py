@@ -49,6 +49,60 @@ def test_jobs_flag_yields_identical_quality_results():
     assert serial == parallel  # dict of frozen dataclasses: field-wise equality
 
 
+def test_campaign_cli_runs_resumes_and_serializes(tmp_path, capsys):
+    store = tmp_path / "campaign.jsonl"
+    first_json = tmp_path / "first.json"
+    second_json = tmp_path / "second.json"
+
+    assert main(["campaign", "--quick", "--out", str(store),
+                 "--json", str(first_json)]) == 0
+    out = capsys.readouterr().out
+    assert "12 executed, 0 resumed" in out
+
+    # Re-running with --resume answers everything from the checkpoints and
+    # produces the identical deterministic payload.
+    assert main(["campaign", "--quick", "--out", str(store), "--resume",
+                 "--json", str(second_json)]) == 0
+    assert "0 executed, 12 resumed" in capsys.readouterr().out
+
+    first = json.loads(first_json.read_text())
+    second = json.loads(second_json.read_text())
+    assert first["schema"] == SCHEMA_VERSION
+    assert first["experiment"] == "campaign"
+    assert first["data"]["num_jobs"] == 12
+    assert json.dumps(first["data"], sort_keys=True) == \
+        json.dumps(second["data"], sort_keys=True)
+
+
+def test_campaign_without_store_refuses_resume(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["campaign", "--quick", "--resume"])
+
+
+def test_campaign_needs_spec_or_quick():
+    with pytest.raises(SystemExit):
+        main(["campaign"])
+
+
+def test_campaign_spec_file_drives_the_sweep(tmp_path, capsys):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps({
+        "name": "from-file",
+        "designs": ["rrot"],
+        "subgraph_counts": [4],
+        "max_iterations": 2,
+        "backend": "estimator",
+        "use_characterized_delays": False,
+    }))
+    assert main(["campaign", "--spec", str(spec_path)]) == 0
+    assert "campaign 'from-file': 1 jobs" in capsys.readouterr().out
+
+
+def test_campaign_flags_rejected_for_other_experiments(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["fig8", "--quick", "--out", str(tmp_path / "x.jsonl")])
+
+
 def test_payload_rejects_unknown_experiment():
     with pytest.raises(ValueError, match="unknown experiment"):
         experiment_payload("table7", object())

@@ -118,6 +118,16 @@ class TestScoring:
         assert high > low
         assert high - low < 1.0
 
+    def test_fanout_score_preserves_ordering_above_clock_period(self, staged_design):
+        """Estimates beyond the clock period must keep ranking by delay, not
+        collapse onto one clamped ratio (the seed flattened both to 0.999)."""
+        schedule, _, names = staged_design
+        graph = schedule.graph
+        over = fanout_score(graph, names["wide"], 3000.0, 2500.0)
+        further_over = fanout_score(graph, names["wide"], 5000.0, 2500.0)
+        under = fanout_score(graph, names["wide"], 2400.0, 2500.0)
+        assert further_over > over > under
+
     def test_delay_strategy_orders_by_delay(self, staged_design):
         schedule, matrix, names = staged_design
         candidates = enumerate_candidate_paths(schedule, matrix,
@@ -125,6 +135,33 @@ class TestScoring:
         delays = [c.delay_ps for c in candidates]
         assert delays == sorted(delays, reverse=True)
         assert candidates[0].sink == names["wide"]  # mul chain is the slowest
+
+
+class TestTieBreaking:
+    def test_equal_delay_sources_pick_lowest_node_id(self):
+        """max() over equal-delay sources must tie-break on sorted node ids,
+        not on set iteration order."""
+        builder = GraphBuilder("ties")
+        x = builder.param("x", 8)
+        y = builder.param("y", 8)
+        left = builder.add(x, y, name="left")
+        right = builder.add(y, x, name="right")
+        root = builder.xor(left, right, name="root")
+        out = builder.output(root, name="out")
+        graph = builder.graph
+        stages = {n.node_id: 0 for n in graph.nodes()}
+        stages[out.node_id] = 1  # `root` crosses the boundary -> registered
+        schedule = Schedule(graph=graph, clock_period_ps=2500.0, stages=stages)
+        delays = node_delays(graph, OperatorModel(pessimism=1.0))
+        matrix = DelayMatrix.from_graph(graph, delays)
+        # Both in-stage ancestors of `root` carry the same delay estimate.
+        assert matrix.get(left.node_id, root.node_id) == \
+            pytest.approx(matrix.get(right.node_id, root.node_id))
+        for _ in range(3):
+            candidates = enumerate_candidate_paths(
+                schedule, matrix, ExtractionStrategy.DELAY, 2500.0)
+            root_candidate = next(c for c in candidates if c.sink == root.node_id)
+            assert root_candidate.source == min(left.node_id, right.node_id)
 
 
 class TestExtractor:

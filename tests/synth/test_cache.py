@@ -77,6 +77,7 @@ def test_batch_accounting_matches_serial_semantics(adder_chain_graph, library):
     ]
     reports = cache.evaluate_batch(adder_chain_graph, sets)
     assert cache.stats.misses == 2
+    assert cache.stats.synth_runs == 2  # no disk layer: every miss synthesises
     assert cache.stats.hits == 2
     assert reports[1] is reports[2]
     assert reports[0] is reports[3]
@@ -109,10 +110,16 @@ def test_disk_layer_warms_future_caches(adder_chain_graph, library, tmp_path):
     warm = EvaluationCache(SynthesisFlow(library), disk_path=path)
     assert warm.stats.disk_loaded == 1
     reloaded = warm.evaluate(adder_chain_graph, [names["s1"], names["s2"]])
-    assert warm.stats.hits == 1
-    assert warm.stats.misses == 0
+    # A disk answer is a memory miss but NOT a synthesis run.
+    assert warm.stats.misses == 1
+    assert warm.stats.disk_hits == 1
+    assert warm.stats.synth_runs == 0
     assert reloaded.delay_ps == report.delay_ps
     assert reloaded.num_gates == report.num_gates
+    # The promoted entry answers repeats from memory.
+    warm.evaluate(adder_chain_graph, [names["s1"], names["s2"]])
+    assert warm.stats.hits == 1
+    assert warm.stats.synth_runs == 0
 
 
 def test_disk_layer_is_backend_configuration_specific(adder_chain_graph,
@@ -132,6 +139,8 @@ def test_disk_layer_is_backend_configuration_specific(adder_chain_graph,
     assert synth_cache.stats.disk_loaded == 0
     measured = synth_cache.evaluate(adder_chain_graph, nodes)
     assert synth_cache.stats.misses == 1
+    assert synth_cache.stats.synth_runs == 1
+    assert synth_cache.stats.disk_hits == 0
     assert measured.delay_ps != estimated.delay_ps
 
     # Same configuration -> the persisted entry is served again.
