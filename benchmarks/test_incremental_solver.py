@@ -17,6 +17,7 @@ import pytest
 
 from repro.designs.suite import table1_suite
 from repro.experiments.runner import main
+from repro.experiments.serialize import SCHEMA_VERSION
 from repro.isdc.config import IsdcConfig
 from repro.isdc.scheduler import IsdcScheduler
 
@@ -82,7 +83,7 @@ def test_runner_json_exposes_per_phase_timing(benchmark, tmp_path):
 
     payload = benchmark.pedantic(run, rounds=1, iterations=1)
 
-    assert payload["schema"] == 3
+    assert payload["schema"] == SCHEMA_VERSION
     assert payload["solver"] == "incremental"
     for row in payload["data"]["rows"]:
         assert row["isdc_solver_time_s"] > 0

@@ -13,6 +13,7 @@ import json
 import pytest
 
 from repro.experiments.runner import main
+from repro.experiments.serialize import SCHEMA_VERSION
 
 ROW_COLUMNS = {
     "benchmark", "clock_period_ps",
@@ -33,7 +34,7 @@ def test_table1_json_artifact(benchmark, tmp_path):
 
     payload = benchmark.pedantic(run, rounds=1, iterations=1)
 
-    assert payload["schema"] == 3
+    assert payload["schema"] == SCHEMA_VERSION
     assert payload["experiment"] == "table1"
     assert payload["quick"] is True
     assert payload["jobs"] == 2

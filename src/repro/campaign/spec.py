@@ -9,6 +9,24 @@ Every job carries a *content-addressed id*: the SHA-256 of its canonical
 ``(design, config)`` JSON.  Ids are therefore stable across interpreter
 runs, ``PYTHONHASHSEED`` values and processes, which is what makes the run
 store's resume-by-id semantics sound.
+
+Expansion is the ordered cross product of the list-valued axes (designs
+outermost, subgraph counts innermost), and a spec round-trips losslessly
+through its JSON form::
+
+    >>> spec = CampaignSpec(name="doc", designs=["rrot"],
+    ...                     extraction=["fanout", "delay"],
+    ...                     subgraph_counts=[4, 8])
+    >>> jobs = spec.jobs()
+    >>> len(jobs)                        # 2 strategies x 2 budgets
+    4
+    >>> [job.config["extraction"] for job in jobs]
+    ['fanout', 'fanout', 'delay', 'delay']
+    >>> restored = CampaignSpec.from_dict(spec.to_dict())
+    >>> restored.fingerprint() == spec.fingerprint()
+    True
+    >>> [job.job_id for job in restored.jobs()] == [j.job_id for j in jobs]
+    True
 """
 
 from __future__ import annotations

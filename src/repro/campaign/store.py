@@ -23,6 +23,29 @@ fields); per-job ``runtime_s`` lives beside it and never enters
 :meth:`RunStore.final_payload`, so two stores of the same campaign --
 interrupted-and-resumed or not, under any ``PYTHONHASHSEED`` -- agree byte
 for byte on the final payload.
+
+An in-memory store (``path=None``) exercises the same record/export
+machinery without touching disk::
+
+    >>> from repro.campaign.spec import CampaignSpec
+    >>> spec = CampaignSpec(name="demo", designs=["rrot"],
+    ...                     subgraph_counts=[4], max_iterations=2,
+    ...                     backend="estimator",
+    ...                     use_characterized_delays=False)
+    >>> store = RunStore()                  # in-memory: no durability
+    >>> store.open(spec)
+    >>> job = spec.jobs()[0]
+    >>> store.record(job, {"final": {"registers": 9}}, runtime_s=0.1)
+    >>> store.completed == {job.job_id}
+    True
+    >>> store.missing(spec)
+    []
+    >>> store.final_payload(spec)["jobs"][0]["result"]
+    {'final': {'registers': 9}}
+
+For *analysis* of a finished (or interrupted) store -- where the spec is
+whatever the file says it is -- use :meth:`RunStore.load`, which reads any
+campaign's store without demanding a matching spec.
 """
 
 from __future__ import annotations
@@ -39,6 +62,36 @@ STORE_SCHEMA_VERSION = 1
 
 class StoreMismatchError(ValueError):
     """The store on disk belongs to a different campaign or schema."""
+
+
+def _parse_store_file(path: Path) -> tuple[list[dict], list[bytes], bytes]:
+    """Parse a store file into ``(records, complete lines, torn tail)``.
+
+    A corrupt *trailing* line (the signature of a kill mid-append) is
+    tolerated and returned as the tail; corruption anywhere earlier raises.
+
+    Raises:
+        ValueError: the file is corrupt before its final line.
+    """
+    raw = path.read_bytes()
+    lines = raw.split(b"\n")
+    # Everything after the final newline is a torn tail (possibly empty).
+    complete, tail = lines[:-1], lines[-1]
+    records = []
+    for position, line in enumerate(complete):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if position == len(complete) - 1 and not tail:
+                tail = line  # corrupt final line, newline and all
+                complete = complete[:position]
+                break
+            raise ValueError(
+                f"run store {path} is corrupt at line {position + 1}; "
+                "only the trailing line of an interrupted run may be torn")
+    return records, complete, tail
 
 
 class RunStore:
@@ -97,32 +150,8 @@ class RunStore:
                 handle.write(json.dumps(self._header) + "\n")
 
     def _load(self) -> None:
-        raw = self.path.read_bytes()
-        lines = raw.split(b"\n")
-        # Everything after the final newline is a torn tail (possibly empty).
-        complete, tail = lines[:-1], lines[-1]
-        records = []
-        for position, line in enumerate(complete):
-            if not line.strip():
-                continue
-            try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError:
-                if position == len(complete) - 1 and not tail:
-                    tail = line  # corrupt final line, newline and all
-                    complete = complete[:position]
-                    break
-                raise ValueError(
-                    f"run store {self.path} is corrupt at line {position + 1}; "
-                    "only the trailing line of an interrupted run may be torn")
-        if not records or records[0].get("kind") != "header":
-            raise StoreMismatchError(
-                f"run store {self.path} has no campaign header")
-        header = records[0]
-        if header.get("schema") != STORE_SCHEMA_VERSION:
-            raise StoreMismatchError(
-                f"run store {self.path} has schema {header.get('schema')}, "
-                f"expected {STORE_SCHEMA_VERSION}")
+        records, complete, tail = _parse_store_file(self.path)
+        header = self._check_header(records)
         if header.get("fingerprint") != self._header["fingerprint"]:
             raise StoreMismatchError(
                 f"run store {self.path} belongs to campaign "
@@ -135,6 +164,53 @@ class RunStore:
             # Drop the torn line so future appends start on a clean boundary.
             kept = b"\n".join(complete) + b"\n" if complete else b""
             self.path.write_bytes(kept)
+
+    def _check_header(self, records: list[dict]) -> dict:
+        """Validate the store's first record and return it.
+
+        Raises:
+            StoreMismatchError: no header record, or a foreign schema.
+        """
+        if not records or records[0].get("kind") != "header":
+            raise StoreMismatchError(
+                f"run store {self.path} has no campaign header")
+        header = records[0]
+        if header.get("schema") != STORE_SCHEMA_VERSION:
+            raise StoreMismatchError(
+                f"run store {self.path} has schema {header.get('schema')}, "
+                f"expected {STORE_SCHEMA_VERSION}")
+        return header
+
+    # ------------------------------------------------------------- analysis
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunStore":
+        """Open an existing store read-only, for analysis.
+
+        Unlike :meth:`open`, no spec is required: the header on disk *is*
+        the campaign identity, so any store -- finished, interrupted, even
+        one with a torn trailing line -- loads as-is (the file is never
+        modified; a torn tail is simply ignored).  This is the entry point
+        the report engine (:mod:`repro.report`) uses.
+
+        Raises:
+            FileNotFoundError: no file at ``path``.
+            StoreMismatchError: the file has no campaign header or a
+                foreign store schema.
+            ValueError: the file is corrupt before its final line.
+        """
+        store = cls(path)
+        records, _, _ = _parse_store_file(store.path)
+        store._header = store._check_header(records)
+        for record in records[1:]:
+            if record.get("kind") == "job" and "job_id" in record:
+                store.results[record["job_id"]] = record
+        return store
+
+    @property
+    def header(self) -> dict | None:
+        """The campaign header (name, fingerprint, job count, full spec)."""
+        return self._header
 
     # --------------------------------------------------------------- records
 

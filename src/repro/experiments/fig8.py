@@ -54,7 +54,8 @@ def run_aig_correlation(cases: list[BenchmarkCase] | None = None,
     usable = [p for p in points if p.aig_depth > 0]
     depths = [float(p.aig_depth) for p in usable]
     delays = [p.measured_delay_ps for p in usable]
-    correlation = pearson_correlation(depths, delays)
+    # Tiny --quick sweeps can leave fewer than two usable points.
+    correlation = pearson_correlation(depths, delays, strict=False)
 
     slope, intercept = _least_squares(depths, delays)
     return AigCorrelationResult(points=tuple(usable), correlation=correlation,

@@ -14,6 +14,10 @@ Usage::
     python -m repro.experiments.runner fig8 [--jobs N] [--json PATH]
     python -m repro.experiments.runner campaign (--spec SPEC.json | --quick) \
         [--out STORE.jsonl] [--resume] [--jobs N] [--json PATH]
+    python -m repro.experiments.runner report INPUT... \
+        [--group-by AXES] [--metric M] [--format F] [--json PATH]
+    python -m repro.experiments.runner report diff OLD NEW \
+        [--metric M] [--threshold T] [--format F]
 
 Each sub-command regenerates one artefact of the paper's evaluation and
 prints its ASCII rendition; ``--quick`` reduces iteration counts and design
@@ -37,6 +41,12 @@ JSONL run store checkpointing every completed job; re-running with
 ``--resume`` skips checkpointed jobs, so an interrupted sweep continues
 where it stopped and still produces the identical final payload.
 
+``report`` is the read side: it aggregates one or more campaign run
+stores / ``--json`` payloads along campaign axes (``--group-by``) with
+geomean/mean/p50/p95 reducers, and ``report diff`` joins two of them on
+content-addressed job ids, exiting non-zero past ``--threshold`` so CI
+can gate on regressions.  See :mod:`repro.report.cli` and ``docs/cli.md``.
+
 Example::
 
     python -m repro.experiments.runner campaign --quick \
@@ -44,6 +54,9 @@ Example::
     # interrupted?  finish it:
     python -m repro.experiments.runner campaign --quick \
         --out runs/quick.jsonl --resume --json runs/quick.json
+    # then analyse it:
+    python -m repro.experiments.runner report runs/quick.jsonl \
+        --group-by design,extraction --metric registers_final
 """
 
 from __future__ import annotations
@@ -156,9 +169,20 @@ def run_experiment(name: str, quick: bool = False, jobs: int = 1,
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        import sys
+
+        argv = sys.argv[1:]
+    if argv and argv[0] == "report":
+        # The report subcommand has its own positional grammar (inputs,
+        # diff mode); it owns its argv entirely.
+        from repro.report.cli import report_main
+
+        return report_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner",
-        description="Regenerate one table/figure of the ISDC paper.")
+        description="Regenerate one table/figure of the ISDC paper, or "
+                    "analyse sweep results (see: runner report --help).")
     parser.add_argument("experiment", choices=list(EXPERIMENTS))
     parser.add_argument("--quick", action="store_true",
                         help="reduced settings (seconds instead of minutes)")

@@ -25,7 +25,10 @@ resumes and ``PYTHONHASHSEED`` values.
 Schema history: 2 added the ``solver`` envelope field and the ``table1``
 per-phase timing columns; 3 added the ``campaign`` experiment payload and
 the ``table1`` per-row ``isdc_evaluations`` column (true synthesis runs,
-disk-cache answers excluded).
+disk-cache answers excluded); 4 added the ``report`` payload (the
+aggregate-summary and baseline-diff bodies of :mod:`repro.report`, whose
+``data.kind`` field -- ``"summary"`` or ``"diff"`` -- discriminates the
+two shapes).
 """
 
 from __future__ import annotations
@@ -40,7 +43,7 @@ from repro.experiments.fig7 import EstimationAccuracyResult
 from repro.experiments.fig8 import AigCorrelationResult
 from repro.experiments.table1 import TableOneResult
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 
 def _table1_payload(result: TableOneResult) -> dict[str, Any]:
@@ -92,8 +95,15 @@ def _campaign_payload(result: CampaignRunResult) -> dict[str, Any]:
     return result.payload
 
 
+def _report_payload(result: Any) -> dict[str, Any]:
+    # AggregateReport and DiffReport both serialise themselves; their
+    # payloads are discriminated by the "kind" field (summary vs diff).
+    return result.to_payload()
+
+
 _PAYLOAD_BUILDERS = {
     "campaign": _campaign_payload,
+    "report": _report_payload,
     "table1": _table1_payload,
     "fig1": _profile_payload,
     "fig5": _ablation_payload,
@@ -109,7 +119,8 @@ def experiment_payload(name: str, result: Any, quick: bool = False,
     """Wrap one experiment's result in the machine-readable envelope.
 
     Args:
-        name: experiment name (``table1`` or ``fig1``/``5``/``6``/``7``/``8``).
+        name: experiment name (``table1``, ``fig1``/``5``/``6``/``7``/``8``,
+            ``campaign`` or ``report``).
         result: the raw object the experiment's ``run_*`` function returned.
         quick: whether reduced settings were used.
         jobs: worker processes the run was configured with.

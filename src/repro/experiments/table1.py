@@ -73,8 +73,16 @@ class TableOneResult:
     rows: list[TableOneRow] = field(default_factory=list)
 
     def geomean(self, attribute: str) -> float:
-        """Geometric mean of one column across all rows."""
-        return geometric_mean(getattr(row, attribute) for row in self.rows)
+        """Geometric mean of one column across all rows.
+
+        Zeros are clamped to ``1e-9`` (a metric may legitimately collapse
+        to zero on a degenerate row; the summary must stay defined) and an
+        empty table summarises to ``0.0``.
+        """
+        if not self.rows:
+            return 0.0
+        return geometric_mean((getattr(row, attribute) for row in self.rows),
+                              floor=1e-9)
 
     @property
     def register_ratio(self) -> float:

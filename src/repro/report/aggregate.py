@@ -1,0 +1,163 @@
+"""Axis grouping and metric reduction over a report frame.
+
+:func:`aggregate` groups a :class:`~repro.report.frame.ReportFrame` by any
+combination of campaign axes and reduces each requested metric with the
+paper's summary statistics: ``geomean`` (Table I's column summary),
+``mean``, ``p50``/``p95`` (interpolated percentiles), ``min``/``max`` and
+``sum``, plus the group's sample ``count``.
+
+Reducers never leak ``nan``: a reducer that is undefined for a group's
+sample (an empty sample, or a geomean over zeros) yields ``None``, which
+the renderers print as ``n/a``.
+
+A runnable example::
+
+    >>> from repro.report.frame import ReportFrame, ReportRow
+    >>> frame = ReportFrame([
+    ...     ReportRow("a1", "demo", {"design": "x"}, {"registers_final": 2.0}),
+    ...     ReportRow("a2", "demo", {"design": "x"}, {"registers_final": 8.0}),
+    ...     ReportRow("b1", "demo", {"design": "y"}, {"registers_final": 5.0}),
+    ... ])
+    >>> report = aggregate(frame, group_by=("design",),
+    ...                    metrics=("registers_final",),
+    ...                    reducers=("count", "geomean"))
+    >>> [(g.key, round(g.values["registers_final"]["geomean"], 9))
+    ...  for g in report.groups]
+    [(('x',), 4.0), (('y',), 5.0)]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.experiments.tables import geometric_mean, percentile
+from repro.report.frame import ReportFrame, metric_spec, resolve_axis
+
+
+def _reduce_geomean(values: list[float]) -> float | None:
+    try:
+        return geometric_mean(values)
+    except ValueError:
+        return None  # zeros/negatives in the sample: geomean undefined
+
+
+def _reduce_mean(values: list[float]) -> float:
+    return sum(values) / len(values)
+
+
+#: Reducer name -> function over a non-empty sample.
+REDUCERS = {
+    "count": len,
+    "geomean": _reduce_geomean,
+    "mean": _reduce_mean,
+    "p50": lambda values: percentile(values, 50.0),
+    "p95": lambda values: percentile(values, 95.0),
+    "min": min,
+    "max": max,
+    "sum": sum,
+}
+
+#: The default reducer columns of ``runner report``.
+DEFAULT_REDUCERS = ("count", "geomean", "mean", "p50", "p95")
+
+
+@dataclass(frozen=True)
+class AggregateGroup:
+    """One group of the aggregation.
+
+    Attributes:
+        key: the group's axis values, in ``group_by`` order.
+        count: rows in the group.
+        values: metric name -> reducer name -> value (``None`` where the
+            reducer is undefined for the group's sample).
+    """
+
+    key: tuple
+    count: int
+    values: dict
+
+
+@dataclass
+class AggregateReport:
+    """Result of :func:`aggregate`, ready for rendering/serialisation."""
+
+    group_by: tuple[str, ...]
+    metrics: tuple[str, ...]
+    reducers: tuple[str, ...]
+    groups: list[AggregateGroup] = field(default_factory=list)
+    num_rows: int = 0
+
+    def to_payload(self) -> dict:
+        """Plain JSON-serialisable form (the ``--format json`` body)."""
+        return {
+            "kind": "summary",
+            "group_by": list(self.group_by),
+            "metrics": list(self.metrics),
+            "reducers": list(self.reducers),
+            "num_rows": self.num_rows,
+            "groups": [
+                {"key": dict(zip(self.group_by, group.key)),
+                 "count": group.count,
+                 "values": group.values}
+                for group in self.groups
+            ],
+        }
+
+
+def aggregate(frame: ReportFrame,
+              group_by: Sequence[str] = ("design",),
+              metrics: Sequence[str] = ("registers_final",),
+              reducers: Sequence[str] = DEFAULT_REDUCERS) -> AggregateReport:
+    """Group a frame's rows by axes and reduce each metric per group.
+
+    Args:
+        frame: the unified frame to aggregate.
+        group_by: axis names (CLI aliases like ``m`` are resolved); rows
+            missing an axis group under the value ``None``.
+        metrics: metric names to reduce (must be known metrics).
+        reducers: reducer names from :data:`REDUCERS`.
+
+    Returns:
+        An :class:`AggregateReport` whose groups are sorted by their
+        stringified keys (deterministic regardless of load order).
+
+    Raises:
+        ValueError: unknown axis, metric, or reducer name.
+    """
+    axes = tuple(resolve_axis(name) for name in group_by)
+    for name in metrics:
+        metric_spec(name)  # raises with the known-metric list
+    for name in reducers:
+        if name not in REDUCERS:
+            known = ", ".join(REDUCERS)
+            raise ValueError(f"unknown reducer {name!r}; known: {known}")
+
+    buckets: dict[tuple, list] = {}
+    for row in frame.rows:
+        key = tuple(row.value(axis) for axis in axes)
+        buckets.setdefault(key, []).append(row)
+
+    groups = []
+    for key in sorted(buckets, key=lambda k: tuple(str(part) for part in k)):
+        rows = buckets[key]
+        values: dict = {}
+        for metric in metrics:
+            sample = [row.metrics[metric] for row in rows
+                      if metric in row.metrics]
+            per_reducer = {}
+            for reducer in reducers:
+                if reducer == "count":
+                    per_reducer[reducer] = len(sample)  # 0, never n/a
+                else:
+                    per_reducer[reducer] = (REDUCERS[reducer](sample)
+                                            if sample else None)
+            values[metric] = per_reducer
+        groups.append(AggregateGroup(key=key, count=len(rows), values=values))
+    return AggregateReport(group_by=axes, metrics=tuple(metrics),
+                           reducers=tuple(reducers), groups=groups,
+                           num_rows=len(frame.rows))
+
+
+__all__ = ["AggregateGroup", "AggregateReport", "DEFAULT_REDUCERS",
+           "REDUCERS", "aggregate"]

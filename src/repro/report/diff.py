@@ -1,0 +1,214 @@
+"""Baseline diffing: join two frames on job ids and gate on regressions.
+
+:func:`diff_frames` joins a baseline frame and a candidate frame on their
+content-addressed job ids, computes the per-job delta of one metric, and
+summarises: mean delta, geometric-mean candidate/baseline ratio, and the
+count of *regressions* -- jobs whose metric moved in the metric's bad
+direction (see :data:`~repro.report.frame.METRICS`) by more than the
+relative ``threshold``.  :attr:`DiffReport.exit_code` is the CI contract:
+``0`` when nothing regressed, ``1`` otherwise.
+
+Jobs present on only one side are reported (``only_baseline`` /
+``only_candidate``) but can never regress -- a shrunk or grown sweep is a
+spec change, not a quality change.  A diff that joins *zero* jobs fails
+the gate, though: comparing nothing must not read as "nothing regressed".
+
+A runnable example (one regressed job at the default zero threshold)::
+
+    >>> from repro.report.frame import ReportFrame, ReportRow
+    >>> old = ReportFrame([ReportRow("j1", "old", {}, {"registers_final": 10.0}),
+    ...                    ReportRow("j2", "old", {}, {"registers_final": 4.0})])
+    >>> new = ReportFrame([ReportRow("j1", "new", {}, {"registers_final": 12.0}),
+    ...                    ReportRow("j2", "new", {}, {"registers_final": 4.0})])
+    >>> report = diff_frames(old, new, metric="registers_final")
+    >>> report.num_regressed, report.exit_code
+    (1, 1)
+    >>> report.deltas[0].rel_delta
+    0.2
+    >>> diff_frames(old, old, metric="registers_final").exit_code
+    0
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.experiments.tables import geometric_mean
+from repro.report.frame import ReportFrame, ReportRow, metric_spec
+
+#: Default relative regression threshold: any worsening fails the gate.
+DEFAULT_THRESHOLD = 0.0
+
+
+@dataclass(frozen=True)
+class JobDelta:
+    """Per-job outcome of a baseline diff.
+
+    Attributes:
+        job_id: the joined content-addressed id.
+        design: design name (from the candidate side).
+        baseline: metric value on the baseline side.
+        candidate: metric value on the candidate side.
+        delta: ``candidate - baseline``.
+        rel_delta: signed relative change ``delta / |baseline|``
+            (``inf`` when the baseline is zero and the candidate is not).
+        regressed: the metric moved in its bad direction beyond threshold.
+    """
+
+    job_id: str
+    design: str
+    baseline: float
+    candidate: float
+    delta: float
+    rel_delta: float
+    regressed: bool
+
+
+@dataclass
+class DiffReport:
+    """Result of :func:`diff_frames`, ready for rendering/serialisation."""
+
+    metric: str
+    threshold: float
+    higher_is_better: bool
+    deltas: list[JobDelta] = field(default_factory=list)
+    only_baseline: list[str] = field(default_factory=list)
+    only_candidate: list[str] = field(default_factory=list)
+    num_regressed: int = 0
+    num_changed: int = 0
+    max_rel_delta: float = 0.0
+    mean_delta: float = 0.0
+    geomean_ratio: float | None = None
+
+    @property
+    def exit_code(self) -> int:
+        """``0`` when the gate passes, ``1`` when it fails.
+
+        The gate fails when any job regressed beyond the threshold, and
+        also when *zero* jobs joined -- a diff that compared nothing (a
+        truncated store, disjoint sweeps, a metric missing from every
+        row) must not pass a CI gate green.
+        """
+        return 1 if self.num_regressed or not self.deltas else 0
+
+    def to_payload(self) -> dict:
+        """Plain JSON-serialisable form (the ``--format json`` body).
+
+        Non-finite relative deltas (a zero baseline turning non-zero has
+        ``rel_delta = inf``) serialise as ``null`` -- ``json.dumps`` would
+        otherwise emit the non-RFC token ``Infinity`` and break strict
+        parsers; the absolute ``delta`` and ``regressed`` flag carry the
+        information.
+        """
+        return {
+            "kind": "diff",
+            "metric": self.metric,
+            "threshold": self.threshold,
+            "higher_is_better": self.higher_is_better,
+            "num_jobs": len(self.deltas),
+            "num_changed": self.num_changed,
+            "num_regressed": self.num_regressed,
+            "max_rel_delta": _finite_or_none(self.max_rel_delta),
+            "mean_delta": self.mean_delta,
+            "geomean_ratio": self.geomean_ratio,
+            "only_baseline": list(self.only_baseline),
+            "only_candidate": list(self.only_candidate),
+            "exit_code": self.exit_code,
+            "jobs": [
+                {"job_id": d.job_id, "design": d.design,
+                 "baseline": d.baseline, "candidate": d.candidate,
+                 "delta": d.delta,
+                 "rel_delta": _finite_or_none(d.rel_delta),
+                 "regressed": d.regressed}
+                for d in self.deltas
+            ],
+        }
+
+
+def _finite_or_none(value: float | None) -> float | None:
+    if value is None or not math.isfinite(value):
+        return None
+    return value
+
+
+def _relative_delta(baseline: float, candidate: float) -> float:
+    if baseline == 0.0:
+        return 0.0 if candidate == 0.0 else math.inf
+    return (candidate - baseline) / abs(baseline)
+
+
+def diff_frames(baseline: ReportFrame, candidate: ReportFrame,
+                metric: str = "registers_final",
+                threshold: float = DEFAULT_THRESHOLD) -> DiffReport:
+    """Join two frames on job ids and compare one metric.
+
+    Args:
+        baseline: the reference frame (``old``).
+        candidate: the frame under test (``new``).
+        metric: metric to compare; its orientation decides what counts as
+            a regression.
+        threshold: relative worsening beyond which a job regresses
+            (``0.05`` = tolerate up to 5 % worse).
+
+    Returns:
+        A :class:`DiffReport`; joined jobs appear sorted by job id.
+        Jobs missing the metric on either side are treated as unjoinable
+        (listed under the corresponding ``only_*`` side).
+
+    Raises:
+        ValueError: unknown metric or negative threshold.
+    """
+    spec = metric_spec(metric)
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold!r}")
+
+    def usable(rows: dict[str, ReportRow]) -> dict[str, ReportRow]:
+        return {job_id: row for job_id, row in rows.items()
+                if metric in row.metrics}
+
+    old_rows = usable(baseline.by_job_id())
+    new_rows = usable(candidate.by_job_id())
+    joined = sorted(set(old_rows) & set(new_rows))
+
+    deltas = []
+    num_regressed = 0
+    num_changed = 0
+    ratios = []
+    for job_id in joined:
+        old_value = float(old_rows[job_id].metrics[metric])
+        new_value = float(new_rows[job_id].metrics[metric])
+        delta = new_value - old_value
+        rel = _relative_delta(old_value, new_value)
+        worsening = -rel if spec.higher_is_better else rel
+        regressed = worsening > threshold
+        num_regressed += regressed
+        num_changed += delta != 0.0
+        if old_value > 0 and new_value > 0:
+            ratios.append(new_value / old_value)
+        deltas.append(JobDelta(
+            job_id=job_id,
+            design=str(new_rows[job_id].value("design") or ""),
+            baseline=old_value, candidate=new_value,
+            delta=delta, rel_delta=rel, regressed=regressed))
+
+    geomean_ratio = None
+    if ratios and len(ratios) == len(joined):
+        geomean_ratio = geometric_mean(ratios)
+    return DiffReport(
+        metric=metric,
+        threshold=threshold,
+        higher_is_better=spec.higher_is_better,
+        deltas=deltas,
+        only_baseline=sorted(set(old_rows) - set(new_rows)),
+        only_candidate=sorted(set(new_rows) - set(old_rows)),
+        num_regressed=num_regressed,
+        num_changed=num_changed,
+        max_rel_delta=max((abs(d.rel_delta) for d in deltas), default=0.0),
+        mean_delta=(sum(d.delta for d in deltas) / len(deltas)
+                    if deltas else 0.0),
+        geomean_ratio=geomean_ratio,
+    )
+
+
+__all__ = ["DEFAULT_THRESHOLD", "DiffReport", "JobDelta", "diff_frames"]

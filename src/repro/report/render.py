@@ -1,0 +1,162 @@
+"""Rendering of aggregate and diff reports: ASCII, Markdown, CSV, JSON.
+
+All tabular output goes through the shared grid machinery in
+:mod:`repro.experiments.tables` (:func:`~repro.experiments.tables.format_table`
+for ASCII/Markdown, :func:`~repro.experiments.tables.format_csv` for CSV);
+JSON output is the report object's ``to_payload()`` body.  Undefined cells
+(a reducer with no defined value for a group) render as ``n/a`` -- never
+``nan``.
+
+A runnable example::
+
+    >>> from repro.report.aggregate import AggregateGroup, AggregateReport
+    >>> report = AggregateReport(
+    ...     group_by=("design",), metrics=("registers_final",),
+    ...     reducers=("count", "geomean"), num_rows=2,
+    ...     groups=[AggregateGroup(("x",), 2,
+    ...                            {"registers_final":
+    ...                             {"count": 2, "geomean": 4.0}})])
+    >>> print(render_aggregate(report, "markdown"))
+    | design | rows | registers_final/count | registers_final/geomean |
+    |--------|------|-----------------------|-------------------------|
+    | x      | 2    | 2                     | 4                       |
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.experiments.tables import format_csv, format_table
+from repro.report.aggregate import AggregateReport
+from repro.report.diff import DiffReport
+
+#: Output formats of ``runner report`` (``md`` is accepted as an alias).
+FORMATS = ("ascii", "markdown", "csv", "json")
+
+
+def _fmt(value) -> str:
+    """One cell: ints verbatim, floats to 6 significant digits, None as n/a."""
+    if value is None:
+        return "n/a"
+    if isinstance(value, bool):
+        return str(value).lower()
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _check_format(fmt: str) -> str:
+    fmt = {"md": "markdown"}.get(fmt, fmt)
+    if fmt not in FORMATS:
+        known = ", ".join(FORMATS)
+        raise ValueError(f"unknown report format {fmt!r}; known: {known}")
+    return fmt
+
+
+def _aggregate_grid(report: AggregateReport) -> tuple[list[str], list[list[str]]]:
+    # The leading "rows" column is the group size; a metric's own /count
+    # column (rows actually carrying that metric) can be smaller, so it is
+    # rendered like any other reducer rather than folded into the group size.
+    headers = list(report.group_by) + ["rows"]
+    for metric in report.metrics:
+        for reducer in report.reducers:
+            headers.append(f"{metric}/{reducer}")
+    rows = []
+    for group in report.groups:
+        row = [_fmt(part) for part in group.key] + [str(group.count)]
+        for metric in report.metrics:
+            for reducer in report.reducers:
+                row.append(_fmt(group.values[metric][reducer]))
+        rows.append(row)
+    return headers, rows
+
+
+def render_aggregate(report: AggregateReport, fmt: str = "ascii") -> str:
+    """Render an aggregation as one table (plus a totals line for text).
+
+    Raises:
+        ValueError: unknown format name.
+    """
+    fmt = _check_format(fmt)
+    if fmt == "json":
+        return json.dumps(report.to_payload(), indent=2)
+    headers, rows = _aggregate_grid(report)
+    if fmt == "csv":
+        return format_csv(headers, rows)
+    table = format_table(headers, rows, style=fmt)
+    if fmt == "markdown":
+        return table
+    return (table + f"\n{report.num_rows} rows in "
+            f"{len(report.groups)} groups")
+
+
+def _diff_grid(report: DiffReport) -> tuple[list[str], list[list[str]]]:
+    headers = ["job", "design", "baseline", "candidate", "delta",
+               "rel_delta", "status"]
+    rows = []
+    for delta in report.deltas:
+        status = "regressed" if delta.regressed else (
+            "changed" if delta.delta else "same")
+        rows.append([delta.job_id[:12], delta.design,
+                     _fmt(delta.baseline), _fmt(delta.candidate),
+                     _fmt(delta.delta), _fmt(delta.rel_delta), status])
+    return headers, rows
+
+
+def diff_summary_lines(report: DiffReport) -> list[str]:
+    """The human-readable verdict lines under a diff table."""
+    direction = "higher" if report.higher_is_better else "lower"
+    lines = [
+        f"metric {report.metric} ({direction} is better), "
+        f"threshold {report.threshold:g}",
+        f"{len(report.deltas)} jobs joined, {report.num_changed} changed, "
+        f"{report.num_regressed} regressed",
+    ]
+    if report.deltas:
+        lines.append(
+            f"mean delta {_fmt(report.mean_delta)}, geomean ratio "
+            f"{_fmt(report.geomean_ratio)}, max |rel delta| "
+            f"{_fmt(report.max_rel_delta)}")
+    if report.only_baseline:
+        lines.append(f"{len(report.only_baseline)} jobs only in baseline: "
+                     + ", ".join(j[:12] for j in report.only_baseline[:8])
+                     + ("..." if len(report.only_baseline) > 8 else ""))
+    if report.only_candidate:
+        lines.append(f"{len(report.only_candidate)} jobs only in candidate: "
+                     + ", ".join(j[:12] for j in report.only_candidate[:8])
+                     + ("..." if len(report.only_candidate) > 8 else ""))
+    verdict = "FAIL" if report.exit_code else "OK"
+    lines.append(f"verdict: {verdict}")
+    return lines
+
+
+def render_diff(report: DiffReport, fmt: str = "ascii") -> str:
+    """Render a baseline diff: per-job table plus the summary verdict.
+
+    CSV output carries only the per-job grid (the aggregate figures live in
+    the JSON payload); ASCII and Markdown append the summary lines.
+
+    Raises:
+        ValueError: unknown format name.
+    """
+    fmt = _check_format(fmt)
+    if fmt == "json":
+        return json.dumps(report.to_payload(), indent=2)
+    headers, rows = _diff_grid(report)
+    if fmt == "csv":
+        return format_csv(headers, rows)
+    table = format_table(headers, rows, style=fmt)
+    summary = diff_summary_lines(report)
+    if fmt == "markdown":
+        return table + "\n\n" + "\n".join(f"- {line}" for line in summary)
+    return table + "\n" + "\n".join(summary)
+
+
+__all__ = ["FORMATS", "diff_summary_lines", "render_aggregate", "render_diff"]

@@ -10,23 +10,69 @@ from repro.experiments.fig6 import run_expansion_ablation
 from repro.experiments.fig7 import run_estimation_accuracy
 from repro.experiments.fig8 import run_aig_correlation
 from repro.experiments.table1 import format_table1, run_table1
-from repro.experiments.tables import format_table, geometric_mean, pearson_correlation
+from repro.experiments.tables import (format_csv, format_table,
+                                      geometric_mean, pearson_correlation,
+                                      percentile)
 
 
 class TestHelpers:
     def test_geometric_mean(self):
         assert geometric_mean([2, 8]) == pytest.approx(4.0)
         assert geometric_mean([5]) == pytest.approx(5.0)
-        assert geometric_mean([]) == 0.0
+
+    def test_geometric_mean_rejects_empty_input(self):
+        with pytest.raises(ValueError, match="empty"):
+            geometric_mean([])
+
+    def test_geometric_mean_rejects_zero_without_floor(self):
+        with pytest.raises(ValueError, match="zero"):
+            geometric_mean([4.0, 0.0])
+        assert geometric_mean([4.0, 0.0], floor=1e-9) > 0.0
+
+    def test_geometric_mean_rejects_negatives_even_with_floor(self):
+        with pytest.raises(ValueError, match="negative"):
+            geometric_mean([4.0, -1.0], floor=1e-9)
 
     def test_pearson_correlation_perfect(self):
         assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
         assert pearson_correlation([1, 2, 3], [6, 4, 2]) == pytest.approx(-1.0)
 
+    def test_pearson_correlation_rejects_degenerate_input(self):
+        with pytest.raises(ValueError, match="equal length"):
+            pearson_correlation([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError, match="at least two"):
+            pearson_correlation([1.0], [1.0])
+        with pytest.raises(ValueError, match="constant"):
+            pearson_correlation([1.0, 1.0], [1.0, 2.0])
+        assert pearson_correlation([1.0], [1.0], strict=False) == 0.0
+        assert pearson_correlation([1.0, 1.0], [1.0, 2.0],
+                                   strict=False) == 0.0
+
+    def test_percentile(self):
+        assert percentile([3.0], 95.0) == 3.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == pytest.approx(2.5)
+        assert percentile([1.0, 2.0], 100.0) == 2.0
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50.0)
+        with pytest.raises(ValueError, match="0, 100"):
+            percentile([1.0], 150.0)
+
     def test_format_table(self):
         text = format_table(["a", "b"], [[1, 2], [30, 40]])
         assert "a" in text and "30" in text
         assert len(text.splitlines()) == 4
+
+    def test_format_table_markdown(self):
+        text = format_table(["a", "b"], [[1, 2]], style="markdown")
+        lines = text.splitlines()
+        assert lines[0].startswith("| a")
+        assert set(lines[1]) == {"|", "-"}
+        with pytest.raises(ValueError, match="unknown table style"):
+            format_table(["a"], [], style="latex")
+
+    def test_format_csv_quotes_commas(self):
+        text = format_csv(["name", "n"], [["a,b", 1]])
+        assert text == 'name,n\n"a,b",1\n'
 
 
 class TestTable1:

@@ -1,0 +1,60 @@
+"""Shared fixtures for the report-engine tests.
+
+The report engine only reads files, so the tests fabricate small
+campaign stores with hand-written (deterministic, cheap) results instead
+of running real schedules.
+"""
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import RunStore
+
+
+def make_spec(**overrides) -> CampaignSpec:
+    defaults = dict(name="report-test", designs=["rrot"],
+                    extraction=["fanout", "delay"], subgraph_counts=[4, 8],
+                    max_iterations=2, backend="estimator",
+                    use_characterized_delays=False)
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+def synthetic_result(job, registers_final=None):
+    """An executor-shaped result payload with controllable final registers."""
+    final_registers = (registers_final if registers_final is not None
+                       else 10 + job.index)
+    return {
+        "design": job.design,
+        "initial": {"stages": 4, "registers": 20 + job.index,
+                    "slack_ps": 500.0},
+        "final": {"stages": 3, "registers": final_registers,
+                  "slack_ps": 250.0},
+        "iterations": 2,
+        "evaluations": 6 + job.index,
+        "registers_by_iteration": [20 + job.index, final_registers],
+        "stages_by_iteration": [4, 3],
+        "schedule": {"0": 0},
+    }
+
+
+def write_store(path, spec, result_fn=synthetic_result) -> RunStore:
+    """Write a complete store for ``spec`` with fabricated job results."""
+    store = RunStore(path)
+    jobs = spec.jobs()
+    store.open(spec, jobs=jobs)
+    for job in jobs:
+        store.record(job, result_fn(job), runtime_s=0.25)
+    return store
+
+
+@pytest.fixture
+def spec():
+    return make_spec()
+
+
+@pytest.fixture
+def store_path(tmp_path, spec):
+    path = tmp_path / "store.jsonl"
+    write_store(path, spec)
+    return path

@@ -1,0 +1,120 @@
+"""Tests for baseline diffing: job-id joins, thresholds, exit codes."""
+
+import pytest
+
+from repro.report.diff import diff_frames
+from repro.report.frame import ReportFrame, ReportRow
+
+
+def _frame(values, metric="registers_final", source="test"):
+    return ReportFrame([
+        ReportRow(job_id, source, {"design": f"d-{job_id}"},
+                  {metric: float(value)})
+        for job_id, value in values.items()])
+
+
+class TestJoin:
+    def test_identical_frames_zero_deltas_exit_zero(self):
+        frame = _frame({"j1": 10, "j2": 4})
+        report = diff_frames(frame, frame)
+        assert report.num_changed == 0
+        assert report.num_regressed == 0
+        assert report.exit_code == 0
+        assert report.mean_delta == 0.0
+        assert report.geomean_ratio == pytest.approx(1.0)
+        assert [d.job_id for d in report.deltas] == ["j1", "j2"]
+
+    def test_jobs_on_only_one_side_reported_not_failed(self):
+        old = _frame({"j1": 10, "gone": 7})
+        new = _frame({"j1": 10, "added": 3})
+        report = diff_frames(old, new)
+        assert report.only_baseline == ["gone"]
+        assert report.only_candidate == ["added"]
+        assert len(report.deltas) == 1
+        assert report.exit_code == 0
+
+    def test_zero_joined_jobs_fails_the_gate(self):
+        report = diff_frames(_frame({"j1": 10}), _frame({"j2": 10}))
+        assert report.num_regressed == 0
+        assert report.exit_code == 1
+        assert report.to_payload()["exit_code"] == 1
+
+    def test_row_missing_the_metric_counts_as_absent(self):
+        old = ReportFrame([
+            ReportRow("j1", "o", {}, {"registers_final": 10.0}),
+            ReportRow("j2", "o", {}, {"iterations": 3.0}),  # no registers
+        ])
+        new = _frame({"j1": 10, "j2": 12})
+        report = diff_frames(old, new)
+        assert [d.job_id for d in report.deltas] == ["j1"]
+        assert report.only_candidate == ["j2"]
+
+
+class TestThresholds:
+    def test_regression_beyond_default_threshold_fails(self):
+        report = diff_frames(_frame({"j1": 100}), _frame({"j1": 101}))
+        assert report.num_regressed == 1
+        assert report.exit_code == 1
+        (delta,) = report.deltas
+        assert delta.regressed
+        assert delta.rel_delta == pytest.approx(0.01)
+
+    def test_threshold_tolerates_small_regressions(self):
+        old, new = _frame({"j1": 100}), _frame({"j1": 104})
+        assert diff_frames(old, new, threshold=0.05).exit_code == 0
+        assert diff_frames(old, new, threshold=0.03).exit_code == 1
+
+    def test_improvement_never_fails(self):
+        report = diff_frames(_frame({"j1": 100}), _frame({"j1": 50}))
+        assert report.exit_code == 0
+        assert report.num_changed == 1
+        assert report.geomean_ratio == pytest.approx(0.5)
+
+    def test_higher_is_better_metric_flips_direction(self):
+        old = _frame({"j1": 0.5}, metric="register_reduction")
+        new = _frame({"j1": 0.4}, metric="register_reduction")
+        assert diff_frames(old, new,
+                           metric="register_reduction").exit_code == 1
+        assert diff_frames(new, old,
+                           metric="register_reduction").exit_code == 0
+
+    def test_zero_baseline(self):
+        same = diff_frames(_frame({"j1": 0}), _frame({"j1": 0}))
+        assert same.exit_code == 0
+        worse = diff_frames(_frame({"j1": 0}), _frame({"j1": 1}))
+        assert worse.exit_code == 1
+        assert worse.deltas[0].rel_delta == float("inf")
+        assert worse.geomean_ratio is None
+
+    def test_infinite_rel_delta_serialises_as_null(self):
+        # json.dumps would emit the non-RFC token Infinity otherwise.
+        import json
+
+        payload = diff_frames(_frame({"j1": 0}),
+                              _frame({"j1": 1})).to_payload()
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["jobs"][0]["rel_delta"] is None
+        assert decoded["jobs"][0]["regressed"] is True
+        assert decoded["max_rel_delta"] is None
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            diff_frames(ReportFrame(), ReportFrame(), threshold=-0.1)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            diff_frames(ReportFrame(), ReportFrame(), metric="nope")
+
+
+class TestPayload:
+    def test_payload_carries_verdict_and_jobs(self):
+        report = diff_frames(_frame({"j1": 10, "j2": 4}),
+                             _frame({"j1": 12, "j2": 4}))
+        payload = report.to_payload()
+        assert payload["kind"] == "diff"
+        assert payload["num_jobs"] == 2
+        assert payload["num_regressed"] == 1
+        assert payload["exit_code"] == 1
+        regressed = [job for job in payload["jobs"] if job["regressed"]]
+        assert [job["job_id"] for job in regressed] == ["j1"]
+        assert regressed[0]["delta"] == 2.0

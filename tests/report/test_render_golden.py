@@ -1,0 +1,94 @@
+"""Golden-file tests for the Markdown/CSV/JSON report renderings.
+
+Regenerate with ``REPRO_REGEN_GOLDEN=1 pytest tests/report/test_render_golden.py``
+after an intentional format change, and review the golden diff like code.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.report.aggregate import aggregate
+from repro.report.diff import diff_frames
+from repro.report.frame import ReportFrame, ReportRow
+from repro.report.render import render_aggregate, render_diff
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def check_golden(name: str, text: str) -> None:
+    path = GOLDEN_DIR / name
+    text = text + "\n"
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    assert path.exists(), f"golden file {path} missing; regenerate with " \
+                          "REPRO_REGEN_GOLDEN=1"
+    assert text == path.read_text(), f"{name} drifted from its golden file"
+
+
+def _fixed_frame(perturb=0.0):
+    rows = []
+    for i, (design, extraction, registers) in enumerate([
+            ("alpha", "fanout", 24.0), ("alpha", "delay", 32.0),
+            ("beta", "fanout", 10.0), ("beta", "delay", 16.0)]):
+        rows.append(ReportRow(
+            job_id=f"{i + 1:x}" * 32, source="golden",
+            axes={"design": design, "extraction": extraction,
+                  "clock_period_ps": 2000.0},
+            metrics={"registers_final": registers + (perturb if i == 0 else 0),
+                     "iterations": 3.0 + i}))
+    return ReportFrame(rows)
+
+
+@pytest.fixture
+def summary():
+    return aggregate(_fixed_frame(), group_by=("design",),
+                     metrics=("registers_final", "iterations"),
+                     reducers=("count", "geomean", "mean", "p50", "p95"))
+
+
+@pytest.fixture
+def diff():
+    return diff_frames(_fixed_frame(), _fixed_frame(perturb=6.0))
+
+
+class TestSummaryGoldens:
+    def test_markdown(self, summary):
+        check_golden("summary.md", render_aggregate(summary, "markdown"))
+
+    def test_csv(self, summary):
+        check_golden("summary.csv", render_aggregate(summary, "csv"))
+
+    def test_json(self, summary):
+        text = render_aggregate(summary, "json")
+        check_golden("summary.json", text)
+        assert json.loads(text)["kind"] == "summary"  # stays parseable
+
+    def test_ascii(self, summary):
+        check_golden("summary.txt", render_aggregate(summary, "ascii"))
+
+
+class TestDiffGoldens:
+    def test_markdown(self, diff):
+        check_golden("diff.md", render_diff(diff, "markdown"))
+
+    def test_csv(self, diff):
+        check_golden("diff.csv", render_diff(diff, "csv"))
+
+    def test_json(self, diff):
+        text = render_diff(diff, "json")
+        check_golden("diff.json", text)
+        assert json.loads(text)["exit_code"] == 1
+
+    def test_ascii(self, diff):
+        check_golden("diff.txt", render_diff(diff, "ascii"))
+
+
+def test_md_alias_and_unknown_format(summary):
+    assert render_aggregate(summary, "md") == \
+        render_aggregate(summary, "markdown")
+    with pytest.raises(ValueError, match="unknown report format"):
+        render_aggregate(summary, "yaml")
