@@ -72,6 +72,17 @@ class Aig:
         self._inputs: list[int] = []
         self._outputs: list[Literal] = []
         self._input_names: dict[int, str] = {}
+        self._version = 0
+
+    @property
+    def structural_version(self) -> int:
+        """Monotonic counter advanced whenever a node is created.
+
+        Keys the kernel's cached :class:`~repro.kernel.GraphView` behind
+        :meth:`levels`/:meth:`depth`; structurally hashed ``add_and`` hits
+        reuse an existing node and leave the cached view valid.
+        """
+        return self._version
 
     # ------------------------------------------------------------------ build
 
@@ -80,6 +91,7 @@ class Aig:
         node = AigNode(len(self._nodes))
         self._nodes.append(node)
         self._inputs.append(node.node_id)
+        self._version += 1
         if name:
             self._input_names[node.node_id] = name
         return make_literal(node.node_id)
@@ -108,6 +120,7 @@ class Aig:
         node = AigNode(len(self._nodes), a, b)
         self._nodes.append(node)
         self._strash[key] = node.node_id
+        self._version += 1
         return make_literal(node.node_id)
 
     def add_or(self, a: Literal, b: Literal) -> Literal:
@@ -185,15 +198,20 @@ class Aig:
         return 1 - value if literal_complemented(literal) else value
 
     def levels(self) -> dict[int, int]:
-        """AND-level of every node (inputs and the constant are level 0)."""
-        level: dict[int, int] = {}
-        for node in self._nodes:
-            if not node.is_and:
-                level[node.node_id] = 0
-            else:
-                level[node.node_id] = 1 + max(level[literal_node(node.fanin0)],
-                                              level[literal_node(node.fanin1)])
-        return level
+        """AND-level of every node (inputs and the constant are level 0).
+
+        Backed by the kernel's cached :class:`~repro.kernel.GraphView`: the
+        AIG's edges run from fanin nodes to AND nodes, so the view's ASAP
+        levels are exactly the AND-level metric, computed once per
+        structural version instead of on every call.
+        """
+        from repro.kernel import GraphView
+
+        view = GraphView.from_aig(self)
+        view_levels = view.levels
+        index_of = view.index_of
+        return {node.node_id: int(view_levels[index_of[node.node_id]])
+                for node in self._nodes}
 
     def depth(self) -> int:
         """Depth of the AIG: the maximum AND-level over the outputs."""

@@ -3,15 +3,26 @@
 These are the building blocks both the SDC scheduler and the ISDC subgraph
 extractor rely on: topological orders, reachability sets, per-graph
 statistics.  Everything here is pure and does not mutate the graph.
+
+Since the unified kernel refactor these functions are thin wrappers over the
+shared levelized-CSR :class:`~repro.kernel.GraphView` (cached per graph and
+invalidated by ``DataflowGraph.structural_version``), so repeated analyses of
+the same graph reuse one substrate instead of re-walking Python dicts.  The
+outputs are unchanged: the exact deterministic Kahn order, the same sets and
+depth dicts as the historical implementations (enforced by the parity tests
+in ``tests/kernel/``).
 """
 
 from __future__ import annotations
 
-from collections import Counter, deque
+from collections import Counter
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.ir.graph import DataflowGraph
 from repro.ir.ops import OpKind
+from repro.kernel import GraphView, reachable_mask
 
 
 def topological_order(graph: DataflowGraph) -> list[int]:
@@ -23,26 +34,7 @@ def topological_order(graph: DataflowGraph) -> list[int]:
     Raises:
         ValueError: if the graph contains a cycle.
     """
-    indegree: dict[int, int] = {}
-    for node in graph.nodes():
-        indegree[node.node_id] = len(set(node.operands))
-    ready = sorted(nid for nid, deg in indegree.items() if deg == 0)
-    queue: deque[int] = deque(ready)
-    order: list[int] = []
-    seen_edges: dict[int, set[int]] = {nid: set() for nid in indegree}
-    while queue:
-        nid = queue.popleft()
-        order.append(nid)
-        for user in sorted(set(graph.users_of(nid))):
-            if nid in seen_edges[user]:
-                continue
-            seen_edges[user].add(nid)
-            indegree[user] -= 1
-            if indegree[user] == 0:
-                queue.append(user)
-    if len(order) != len(graph):
-        raise ValueError(f"graph {graph.name!r} contains a cycle")
-    return order
+    return GraphView.from_dataflow(graph).order_ids()
 
 
 def reverse_topological_order(graph: DataflowGraph) -> list[int]:
@@ -52,28 +44,16 @@ def reverse_topological_order(graph: DataflowGraph) -> list[int]:
 
 def reachable_from(graph: DataflowGraph, node_id: int) -> set[int]:
     """Ids of all nodes reachable *downstream* from ``node_id`` (inclusive)."""
-    seen = {node_id}
-    stack = [node_id]
-    while stack:
-        current = stack.pop()
-        for user in graph.users_of(current):
-            if user not in seen:
-                seen.add(user)
-                stack.append(user)
-    return seen
+    view = GraphView.from_dataflow(graph)
+    mask = reachable_mask(view, [view.index_of[node_id]])
+    return {int(view.order[i]) for i in np.nonzero(mask)[0]}
 
 
 def reaching_to(graph: DataflowGraph, node_id: int) -> set[int]:
     """Ids of all nodes *upstream* of ``node_id`` (inclusive)."""
-    seen = {node_id}
-    stack = [node_id]
-    while stack:
-        current = stack.pop()
-        for operand in graph.operands_of(current):
-            if operand not in seen:
-                seen.add(operand)
-                stack.append(operand)
-    return seen
+    view = GraphView.from_dataflow(graph)
+    mask = reachable_mask(view, [view.index_of[node_id]], backward=True)
+    return {int(view.order[i]) for i in np.nonzero(mask)[0]}
 
 
 def is_connected(graph: DataflowGraph, src: int, dst: int) -> bool:
@@ -85,14 +65,9 @@ def is_connected(graph: DataflowGraph, src: int, dst: int) -> bool:
 
 def longest_path_lengths(graph: DataflowGraph) -> dict[int, int]:
     """Length (in edges) of the longest path from any source to each node."""
-    depth: dict[int, int] = {}
-    for nid in topological_order(graph):
-        operands = graph.operands_of(nid)
-        if not operands:
-            depth[nid] = 0
-        else:
-            depth[nid] = 1 + max(depth[o] for o in operands)
-    return depth
+    view = GraphView.from_dataflow(graph)
+    levels = view.levels
+    return {nid: int(levels[i]) for i, nid in enumerate(view.order_ids())}
 
 
 @dataclass(frozen=True)

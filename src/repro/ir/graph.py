@@ -32,6 +32,17 @@ class DataflowGraph:
         self._nodes: dict[int, Node] = {}
         self._users: dict[int, list[int]] = {}
         self._next_id = 0
+        self._version = 0
+
+    @property
+    def structural_version(self) -> int:
+        """Monotonic counter advanced on every structural edit.
+
+        The kernel caches its levelized-CSR :class:`~repro.kernel.GraphView`
+        on the graph keyed by this counter; node additions invalidate the
+        cached view, attribute edits (renames) do not.
+        """
+        return self._version
 
     # ------------------------------------------------------------------ build
 
@@ -75,6 +86,7 @@ class DataflowGraph:
         for operand in operand_ids:
             self._users[operand].append(node.node_id)
         self._next_id += 1
+        self._version += 1
         return node
 
     # ----------------------------------------------------------------- access

@@ -15,11 +15,17 @@ from typing import Iterable, Mapping
 import numpy as np
 
 from repro.ir.graph import DataflowGraph
+from repro.kernel import GraphView
 from repro.sdc.delays import NOT_CONNECTED, critical_path_matrix
 
 
 class DelayMatrix:
     """Estimated critical-path delay for every node pair of a graph.
+
+    The matrix itself stays a plain numpy array, but its row/column order,
+    node indexing and the connectivity used by the re-propagation pass all
+    come from the graph's shared kernel :class:`~repro.kernel.GraphView`
+    (:attr:`view`), so every ISDC layer agrees on one substrate.
 
     Attributes:
         graph: the dataflow graph the matrix describes.
@@ -35,6 +41,11 @@ class DelayMatrix:
         self.index_of = index_of
         self._order = sorted(index_of, key=index_of.get)
         self._dirty: set[tuple[int, int]] = set()
+
+    @property
+    def view(self) -> GraphView:
+        """The shared levelized-CSR view of :attr:`graph` (kernel cache)."""
+        return GraphView.from_dataflow(self.graph)
 
     # ------------------------------------------------------------ construction
 

@@ -20,10 +20,80 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.ir.graph import DataflowGraph
 from repro.isdc.config import ExpansionStrategy, ExtractionStrategy, IsdcConfig
 from repro.isdc.delay_matrix import DelayMatrix
+from repro.kernel import (
+    GraphView,
+    UNREACHED,
+    longest_path_from,
+    reachable_mask,
+    reconstruct_path,
+)
 from repro.sdc.scheduler import Schedule
+
+
+class _ScheduleContext:
+    """Shared per-extraction arrays over one (schedule, delay matrix) pair.
+
+    Everything derived from the schedule that costs O(n) to build -- the
+    kernel view, the dense stage vector, per-stage traversal masks, the
+    individual-delay diagonal, the registered-node list -- is computed once
+    here and reused across every candidate of an extraction pass, keeping the
+    per-candidate work proportional to the swept cone, not the graph.
+    """
+
+    def __init__(self, schedule: Schedule) -> None:
+        self.schedule = schedule
+        self.view = GraphView.from_dataflow(schedule.graph)
+        stages = schedule.stages
+        self.stage_vector = np.asarray(
+            [stages[nid] for nid in self.view.order_ids()], dtype=np.int64)
+        self._stage_masks: dict[int, np.ndarray] = {}
+        self._delays: np.ndarray | None = None
+        self._delays_for: DelayMatrix | None = None
+        self._registered: list[int] | None = None
+
+    def stage_mask(self, stage: int) -> np.ndarray:
+        """Traversal mask for one stage: same-stage, non-source nodes."""
+        if stage not in self._stage_masks:
+            self._stage_masks[stage] = ((self.stage_vector == stage)
+                                        & ~self.view.source_mask)
+        return self._stage_masks[stage]
+
+    def cone_mask(self, root: int) -> np.ndarray:
+        """Boolean in-stage ancestor cone of ``root`` over dense indices."""
+        return reachable_mask(
+            self.view, [self.view.index_of[root]], backward=True,
+            mask=self.stage_mask(self.schedule.stage_of(root)))
+
+    def cone_ids(self, root: int) -> set[int]:
+        """In-stage ancestor cone of ``root`` as node ids (root included).
+
+        ``root`` is part of its own cone by definition, even when the
+        traversal mask would reject it (a source root).
+        """
+        cone = set(self.view.ids_of(np.nonzero(self.cone_mask(root))[0]))
+        cone.add(root)
+        return cone
+
+    def individual_delays(self, delay_matrix: DelayMatrix) -> np.ndarray:
+        """The matrix diagonal (isolated node delays) in dense order."""
+        if self._delays is None or self._delays_for is not delay_matrix:
+            matrix_indices = np.asarray(
+                [delay_matrix.index_of[nid] for nid in self.view.order_ids()],
+                dtype=np.int64)
+            self._delays = delay_matrix.matrix[matrix_indices, matrix_indices]
+            self._delays_for = delay_matrix
+        return self._delays
+
+    def registered_nodes(self) -> list[int]:
+        """Registered nodes of the schedule (cached, ascending id order)."""
+        if self._registered is None:
+            self._registered = _registered_nodes(self)
+        return self._registered
 
 
 @dataclass(frozen=True)
@@ -54,35 +124,30 @@ def registered_nodes(schedule: Schedule) -> list[int]:
     a later stage, or when the node has no consumers at all (it feeds a
     primary output of the pipeline).  Source nodes never hold registers.
     """
-    graph = schedule.graph
-    result: list[int] = []
-    for node in graph.nodes():
-        if node.is_source:
-            continue
-        users = graph.users_of(node.node_id)
-        stage = schedule.stage_of(node.node_id)
-        if not users or any(schedule.stage_of(u) > stage for u in users):
-            result.append(node.node_id)
-    return result
+    return _registered_nodes(_ScheduleContext(schedule))
+
+
+def _registered_nodes(context: _ScheduleContext) -> list[int]:
+    view = context.view
+    if view.num_nodes == 0:
+        return []
+    stages = context.stage_vector
+    # Worst user stage per node via one segmented max over the successor CSR.
+    counts = view.succ_indptr[1:] - view.succ_indptr[:-1]
+    worst_user_stage = np.full(view.num_nodes, np.iinfo(np.int64).min,
+                               dtype=np.int64)
+    nonempty = counts > 0
+    if view.succ_indices.size:
+        worst_user_stage[nonempty] = np.maximum.reduceat(
+            stages[view.succ_indices], view.succ_indptr[:-1][nonempty])
+    registered = (~view.source_mask
+                  & (~nonempty | (worst_user_stage > stages)))
+    return sorted(view.ids_of(np.nonzero(registered)[0]))
 
 
 def in_stage_ancestors(schedule: Schedule, root: int) -> set[int]:
     """Non-source ancestors of ``root`` scheduled in the same stage (root included)."""
-    graph = schedule.graph
-    stage = schedule.stage_of(root)
-    cone: set[int] = {root}
-    stack = [root]
-    while stack:
-        current = stack.pop()
-        for operand in graph.operands_of(current):
-            if operand in cone:
-                continue
-            operand_node = graph.node(operand)
-            if operand_node.is_source or schedule.stage_of(operand) != stage:
-                continue
-            cone.add(operand)
-            stack.append(operand)
-    return cone
+    return _ScheduleContext(schedule).cone_ids(root)
 
 
 def cone_leaves(graph: DataflowGraph, cone: set[int]) -> frozenset[int]:
@@ -103,34 +168,25 @@ def critical_in_stage_path(schedule: Schedule, delay_matrix: DelayMatrix,
     computation (the per-segment feedback delays do not decompose onto single
     nodes, so individual delays are the consistent choice here).
     """
-    graph = schedule.graph
-    stage = schedule.stage_of(sink)
-    cone = in_stage_ancestors(schedule, sink)
-    if source not in cone:
-        return (sink,)
-    best: dict[int, float] = {source: delay_matrix.individual_delay(source)}
-    parent: dict[int, int] = {}
-    # The cone is small; a simple repeated relaxation in node-id order over
-    # the DAG restricted to the cone is sufficient and always terminates.
-    from repro.ir.analysis import topological_order
+    return _critical_in_stage_path(_ScheduleContext(schedule), delay_matrix,
+                                   source, sink)
 
-    for node_id in topological_order(graph):
-        if node_id not in cone or node_id not in best:
-            continue
-        for user in sorted(set(graph.users_of(node_id))):
-            if user not in cone or schedule.stage_of(user) != stage:
-                continue
-            candidate = best[node_id] + delay_matrix.individual_delay(user)
-            if candidate > best.get(user, float("-inf")):
-                best[user] = candidate
-                parent[user] = node_id
-    if sink not in best:
+
+def _critical_in_stage_path(context: _ScheduleContext,
+                            delay_matrix: DelayMatrix,
+                            source: int, sink: int) -> tuple[int, ...]:
+    view = context.view
+    cone = context.cone_mask(sink)
+    source_index = view.index_of[source]
+    if not cone[source_index]:
         return (sink,)
-    path = [sink]
-    while path[-1] != source:
-        path.append(parent[path[-1]])
-    path.reverse()
-    return tuple(path)
+    delays = context.individual_delays(delay_matrix)
+    values, parents = longest_path_from(view, delays, source_index, mask=cone)
+    sink_index = view.index_of[sink]
+    if values[sink_index] == UNREACHED:
+        return (sink,)
+    dense = reconstruct_path(parents, source_index, sink_index)
+    return tuple(view.ids_of(dense))
 
 
 def fanout_score(graph: DataflowGraph, sink: int, delay_ps: float,
@@ -160,10 +216,19 @@ def enumerate_candidate_paths(schedule: Schedule, delay_matrix: DelayMatrix,
     removes the characterisation guard band on that operation, which is often
     what unlocks merging it with a neighbouring stage.
     """
+    return _enumerate_candidate_paths(_ScheduleContext(schedule), delay_matrix,
+                                      strategy, clock_period_ps)
+
+
+def _enumerate_candidate_paths(context: _ScheduleContext,
+                               delay_matrix: DelayMatrix,
+                               strategy: ExtractionStrategy,
+                               clock_period_ps: float) -> list[CandidatePath]:
+    schedule = context.schedule
     graph = schedule.graph
     candidates: list[CandidatePath] = []
-    for sink in registered_nodes(schedule):
-        cone = in_stage_ancestors(schedule, sink)
+    for sink in context.registered_nodes():
+        cone = context.cone_ids(sink)
         # Sorted iteration keeps max()'s tie-break between equal-delay
         # sources independent of set order (and thus of PYTHONHASHSEED).
         sources = sorted(nid for nid in cone if nid != sink)
@@ -181,7 +246,7 @@ def enumerate_candidate_paths(schedule: Schedule, delay_matrix: DelayMatrix,
             score = fanout_score(graph, sink, delay, clock_period_ps)
         else:
             score = delay
-        path = critical_in_stage_path(schedule, delay_matrix, best_source, sink)
+        path = _critical_in_stage_path(context, delay_matrix, best_source, sink)
         candidates.append(CandidatePath(
             source=best_source, sink=sink, stage=schedule.stage_of(sink),
             delay_ps=delay, score=score, path_nodes=path))
@@ -202,28 +267,34 @@ class SubgraphExtractor:
 
     def expand(self, schedule: Schedule, candidate: CandidatePath) -> frozenset[int]:
         """Expand one candidate path into the node set to synthesise."""
+        return self._expand(_ScheduleContext(schedule), candidate)
+
+    def _expand(self, context: _ScheduleContext, candidate: CandidatePath
+                ) -> frozenset[int]:
         expansion = self.config.expansion
         if expansion is ExpansionStrategy.PATH:
             return frozenset(candidate.path_nodes)
-        cone = in_stage_ancestors(schedule, candidate.sink)
+        cone = context.cone_ids(candidate.sink)
         if expansion is ExpansionStrategy.CONE:
             return frozenset(cone)
-        return self._expand_window(schedule, candidate, cone)
+        return self._expand_window(context, candidate, cone)
 
-    def _expand_window(self, schedule: Schedule, candidate: CandidatePath,
+    def _expand_window(self, context: _ScheduleContext,
+                       candidate: CandidatePath,
                        cone: set[int]) -> frozenset[int]:
         """Merge cones of same-stage registered roots that share leaves."""
+        schedule = context.schedule
         graph = schedule.graph
         leaves = cone_leaves(graph, cone)
         window = set(cone)
         if not leaves:
             return frozenset(window)
-        for other_root in registered_nodes(schedule):
+        for other_root in context.registered_nodes():
             if other_root == candidate.sink:
                 continue
             if schedule.stage_of(other_root) != candidate.stage:
                 continue
-            other_cone = in_stage_ancestors(schedule, other_root)
+            other_cone = context.cone_ids(other_root)
             if leaves & cone_leaves(graph, other_cone):
                 window.update(other_cone)
         return frozenset(window)
@@ -231,15 +302,16 @@ class SubgraphExtractor:
     def extract(self, schedule: Schedule, delay_matrix: DelayMatrix
                 ) -> list[tuple[CandidatePath, frozenset[int]]]:
         """Top-m candidates of the schedule, expanded and de-duplicated."""
-        candidates = enumerate_candidate_paths(
-            schedule, delay_matrix, self.config.extraction,
+        context = _ScheduleContext(schedule)
+        candidates = _enumerate_candidate_paths(
+            context, delay_matrix, self.config.extraction,
             self.config.clock_period_ps)
         selected: list[tuple[CandidatePath, frozenset[int]]] = []
         seen: set[frozenset[int]] = set()
         for candidate in candidates:
             if len(selected) >= self.config.subgraphs_per_iteration:
                 break
-            node_set = self.expand(schedule, candidate)
+            node_set = self._expand(context, candidate)
             if not node_set or node_set in seen:
                 continue
             seen.add(node_set)

@@ -20,34 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ir.analysis import reverse_topological_order, topological_order
 from repro.isdc.delay_matrix import DelayMatrix
 from repro.sdc.delays import NOT_CONNECTED
-
-
-def _lower_entries(delay_matrix: DelayMatrix, column: int,
-                   candidates: np.ndarray) -> int:
-    """Lower ``matrix[:, column]`` to ``candidates`` where justified.
-
-    An entry is overwritten when the candidate is valid (connected) and either
-    the current entry is larger or the pair was previously marked unconnected.
-    Changed entries are recorded in the matrix's dirty-pair tracker.
-
-    Returns:
-        Number of entries changed.
-    """
-    matrix = delay_matrix.matrix
-    current = matrix[:, column]
-    valid = candidates != NOT_CONNECTED
-    improve = valid & ((current > candidates) | (current == NOT_CONNECTED))
-    count = int(improve.sum())
-    if count:
-        current[improve] = candidates[improve]
-        matrix[:, column] = current
-        changed_rows = np.nonzero(improve)[0]
-        delay_matrix.mark_dirty_indices(changed_rows,
-                                        np.full(count, column, dtype=int))
-    return count
 
 
 def propagate_delays(delay_matrix: DelayMatrix) -> int:
@@ -57,51 +31,91 @@ def propagate_delays(delay_matrix: DelayMatrix) -> int:
     the matrix's dirty-pair tracker so the incremental solver can patch just
     the affected timing constraints.
 
+    Both sweeps run level-batched over the graph's shared kernel
+    :class:`~repro.kernel.GraphView`: since every edge crosses a level
+    boundary, all operand (resp. user) rows a level reads are final before
+    the level is written, so one gathered ``max``-reduction per level lowers
+    exactly the entries the historical per-node loops lowered.
+
     Returns:
         The total number of matrix entries that were lowered.
     """
-    graph = delay_matrix.graph
+    view = delay_matrix.view
     matrix = delay_matrix.matrix
     index_of = delay_matrix.index_of
+    # Dense position -> matrix row/column (identity when the matrix was built
+    # from the same view, but kept explicit so hand-constructed index maps
+    # keep working).
+    col_of = np.asarray([index_of[nid] for nid in view.order_ids()],
+                        dtype=np.int64)
     changed = 0
 
     # Forward sweep: recompute the delay from every node u to v through v's
     # operands, using the (possibly feedback-lowered) delays to the operands.
-    for node_id in topological_order(graph):
-        column = index_of[node_id]
-        own_delay = matrix[column, column]
-        operand_columns = sorted({index_of[o] for o in graph.operands_of(node_id)})
-        if not operand_columns:
-            continue
-        incoming = matrix[:, operand_columns]
-        connected = incoming != NOT_CONNECTED
-        candidates = np.where(connected, incoming + own_delay, NOT_CONNECTED)
-        best = candidates.max(axis=1)
-        best[column] = NOT_CONNECTED  # never touch the diagonal here
-        changed += _lower_entries(delay_matrix, column, best)
+    # Predecessor columns are folded positionally (first operand, second
+    # operand, ...) with elementwise maxima -- in-degrees are small, so this
+    # is a few whole-column operations per level.
+    for level in range(1, view.num_levels):
+        rows = view.level_nodes(level)
+        starts = view.pred_indptr[rows]
+        counts = view.pred_indptr[rows + 1] - starts
+        columns = col_of[rows]
+        own_delays = matrix[columns, columns]
+        incoming = matrix[:, col_of[view.pred_indices[starts]]]
+        best = np.where(incoming != NOT_CONNECTED, incoming + own_delays,
+                        NOT_CONNECTED)
+        for position in range(1, int(counts.max())):
+            present = counts > position
+            preds = col_of[view.pred_indices[starts[present] + position]]
+            incoming = matrix[:, preds]
+            candidates = np.where(incoming != NOT_CONNECTED,
+                                  incoming + own_delays[present],
+                                  NOT_CONNECTED)
+            best[:, present] = np.maximum(best[:, present], candidates)
+        best[columns, np.arange(columns.size)] = NOT_CONNECTED  # diagonal
+        current = matrix[:, columns]
+        improve = ((best != NOT_CONNECTED)
+                   & ((current > best) | (current == NOT_CONNECTED)))
+        count = int(improve.sum())
+        if count:
+            matrix[:, columns] = np.where(improve, best, current)
+            changed_rows, changed_positions = np.nonzero(improve)
+            delay_matrix.mark_dirty_indices(changed_rows,
+                                            columns[changed_positions])
+            changed += count
 
     # Reverse sweep: propagate through users to catch the complementary
     # direction (delays from u forward into each of its users' cones).
-    for node_id in reverse_topological_order(graph):
-        row = index_of[node_id]
-        own_delay = matrix[row, row]
-        user_rows = sorted({index_of[u] for u in graph.users_of(node_id)})
-        if not user_rows:
+    for level in range(view.num_levels - 1, -1, -1):
+        nodes = view.level_nodes(level)
+        starts = view.succ_indptr[nodes]
+        counts = view.succ_indptr[nodes + 1] - starts
+        with_users = counts > 0
+        if not with_users.any():
             continue
-        outgoing = matrix[user_rows, :]
-        connected = outgoing != NOT_CONNECTED
-        candidates = np.where(connected, outgoing + own_delay, NOT_CONNECTED)
-        best = candidates.max(axis=0)
-        best[row] = NOT_CONNECTED
-        current = matrix[row, :]
-        valid = best != NOT_CONNECTED
-        improve = valid & ((current > best) | (current == NOT_CONNECTED))
+        nodes, starts, counts = nodes[with_users], starts[with_users], counts[with_users]
+        rows = col_of[nodes]
+        own_delays = matrix[rows, rows]
+        outgoing = matrix[col_of[view.succ_indices[starts]], :]
+        best = np.where(outgoing != NOT_CONNECTED,
+                        outgoing + own_delays[:, None], NOT_CONNECTED)
+        for position in range(1, int(counts.max())):
+            present = counts > position
+            users = col_of[view.succ_indices[starts[present] + position]]
+            outgoing = matrix[users, :]
+            candidates = np.where(outgoing != NOT_CONNECTED,
+                                  outgoing + own_delays[present, None],
+                                  NOT_CONNECTED)
+            best[present] = np.maximum(best[present], candidates)
+        best[np.arange(rows.size), rows] = NOT_CONNECTED  # diagonal
+        current = matrix[rows, :]
+        improve = ((best != NOT_CONNECTED)
+                   & ((current > best) | (current == NOT_CONNECTED)))
         count = int(improve.sum())
         if count:
-            current[improve] = best[improve]
-            matrix[row, :] = current
-            changed_cols = np.nonzero(improve)[0]
-            delay_matrix.mark_dirty_indices(np.full(count, row, dtype=int),
+            matrix[rows, :] = np.where(improve, best, current)
+            changed_positions, changed_cols = np.nonzero(improve)
+            delay_matrix.mark_dirty_indices(rows[changed_positions],
                                             changed_cols)
             changed += count
 

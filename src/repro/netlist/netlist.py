@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Iterable, Iterator
 
+from repro.kernel import GraphView
 from repro.netlist.gates import Gate, GateKind, GATE_FUNCTIONS
 from repro.tech.library import TechLibrary
 
@@ -26,6 +26,17 @@ class Netlist:
         self._fanout: dict[int, list[int]] = {}
         self._outputs: list[int] = []
         self._next_id = 0
+        self._version = 0
+
+    @property
+    def structural_version(self) -> int:
+        """Monotonic counter advanced on every structural edit.
+
+        Keys the kernel's cached :class:`~repro.kernel.GraphView`: gate
+        additions invalidate the view, output marking and renames (which do
+        not change connectivity or levels) do not.
+        """
+        return self._version
 
     # ------------------------------------------------------------------ build
 
@@ -50,6 +61,7 @@ class Netlist:
         for input_id in input_ids:
             self._fanout[input_id].append(gate.gate_id)
         self._next_id += 1
+        self._version += 1
         return gate.gate_id
 
     def add_input(self, name: str = "") -> int:
@@ -112,24 +124,16 @@ class Netlist:
     # -------------------------------------------------------------- analysis
 
     def topological_order(self) -> list[int]:
-        """Gate ids in topological order (drivers before loads)."""
-        indegree = {gid: len(set(g.inputs)) for gid, g in self._gates.items()}
-        queue: deque[int] = deque(sorted(g for g, d in indegree.items() if d == 0))
-        seen_edges: dict[int, set[int]] = {gid: set() for gid in self._gates}
-        order: list[int] = []
-        while queue:
-            gid = queue.popleft()
-            order.append(gid)
-            for load in sorted(set(self._fanout[gid])):
-                if gid in seen_edges[load]:
-                    continue
-                seen_edges[load].add(gid)
-                indegree[load] -= 1
-                if indegree[load] == 0:
-                    queue.append(load)
-        if len(order) != len(self._gates):
-            raise ValueError(f"netlist {self.name!r} contains a combinational cycle")
-        return order
+        """Gate ids in topological order (drivers before loads).
+
+        Delegates to the cached kernel :class:`~repro.kernel.GraphView`, so
+        the order (the historical deterministic Kahn order) is computed once
+        per structural version and shared with the STA engine.
+
+        Raises:
+            ValueError: if the netlist contains a combinational cycle.
+        """
+        return GraphView.from_netlist(self).order_ids()
 
     def area(self, library: TechLibrary) -> float:
         """Total cell area of the netlist in square micrometres."""

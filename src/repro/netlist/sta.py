@@ -5,12 +5,24 @@ model is a simple topological arrival-time propagation with per-cell
 propagation delays from the technology library (no slew, no wire load); this
 is the same level of abstraction the paper's per-operation characterisation
 uses, so relative comparisons remain meaningful.
+
+The propagation itself runs on the shared vectorized kernel
+(:mod:`repro.kernel`): arrival times are one level-batched forward sweep over
+the netlist's cached :class:`~repro.kernel.GraphView`, with the critical path
+reconstructed from the kernel's predecessor choices (CSR tie-break order,
+matching the historical ``max(gate.inputs, key=...)`` behaviour exactly).
+Per-kind gate delays are resolved once per library into a lookup table
+instead of hitting the library on every gate of every run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.kernel import GraphView, forward_propagate, path_delay as _path_delay
+from repro.kernel.ops import UNREACHED
 from repro.netlist.gates import GateKind
 from repro.netlist.netlist import Netlist
 from repro.tech.library import TechLibrary
@@ -49,13 +61,18 @@ class StaticTimingAnalysis:
 
     def __init__(self, library: TechLibrary | None = None) -> None:
         self.library = library or sky130_library()
+        # One library lookup per GateKind for the engine's lifetime; every
+        # run() indexes this table instead of calling into the library per
+        # gate.
+        self._kind_delays: dict[GateKind, float] = {
+            kind: (0.0 if kind.cell_name is None
+                   else float(self.library.delay(kind.cell_name)))
+            for kind in GateKind
+        }
 
     def gate_delay(self, kind: GateKind) -> float:
         """Propagation delay (ps) of a single gate of kind ``kind``."""
-        cell = kind.cell_name
-        if cell is None:
-            return 0.0
-        return self.library.delay(cell)
+        return self._kind_delays[kind]
 
     def run(self, netlist: Netlist, endpoints: list[int] | None = None
             ) -> TimingResult:
@@ -70,18 +87,21 @@ class StaticTimingAnalysis:
             A :class:`TimingResult` with the worst endpoint arrival time and
             one critical path realising it.
         """
-        arrival: dict[int, float] = {}
-        predecessor: dict[int, int | None] = {}
-        for gate_id in netlist.topological_order():
-            gate = netlist.gate(gate_id)
-            delay = self.gate_delay(gate.kind)
-            if not gate.inputs:
-                arrival[gate_id] = delay if not gate.kind.is_source else 0.0
-                predecessor[gate_id] = None
-                continue
-            worst_input = max(gate.inputs, key=lambda i: arrival[i])
-            arrival[gate_id] = arrival[worst_input] + delay
-            predecessor[gate_id] = worst_input
+        view = GraphView.from_netlist(netlist)
+        kind_delays = self._kind_delays
+        delays = np.asarray(
+            [kind_delays[netlist.gate(nid).kind] for nid in view.order_ids()],
+            dtype=float)
+        # Indegree-0 gates are seeded exogenously: primary inputs and tie
+        # cells arrive at 0, any other input-less gate contributes its own
+        # delay.  Everything else is one level-batched forward sweep.
+        init = np.full(view.num_nodes, UNREACHED, dtype=float)
+        no_inputs = view.pred_counts() == 0
+        init[no_inputs] = np.where(view.source_mask[no_inputs], 0.0,
+                                   delays[no_inputs])
+        values, parents = forward_propagate(view, delays, init=init, tie="csr")
+        arrival = {nid: float(values[i])
+                   for i, nid in enumerate(view.order_ids())}
 
         if endpoints is None:
             endpoints = netlist.outputs() or list(arrival)
@@ -90,10 +110,11 @@ class StaticTimingAnalysis:
 
         worst = max(endpoints, key=lambda e: arrival[e])
         path: list[int] = []
-        cursor: int | None = worst
-        while cursor is not None:
-            path.append(cursor)
-            cursor = predecessor[cursor]
+        cursor = view.index_of[worst]
+        order = view.order_ids()
+        while cursor >= 0:
+            path.append(order[cursor])
+            cursor = int(parents[cursor])
         path.reverse()
         return TimingResult(
             critical_path_delay_ps=arrival[worst],
@@ -104,4 +125,5 @@ class StaticTimingAnalysis:
 
     def path_delay(self, netlist: Netlist, path: list[int]) -> float:
         """Sum of gate delays along an explicit path (sanity-check helper)."""
-        return sum(self.gate_delay(netlist.gate(g).kind) for g in path)
+        return _path_delay(lambda g: self._kind_delays[netlist.gate(g).kind],
+                           path)

@@ -6,6 +6,13 @@ computed as the sum of individual operation delays along the worst path.
 That is exactly the initialisation of the paper's delay matrix ``D[n][n]``
 (Alg. 1, lines 1--9); ISDC later lowers entries of this matrix with measured
 subgraph delays.
+
+Both the matrix initialisation and the explicit path search delegate to the
+shared vectorized kernel (:mod:`repro.kernel`): the matrix is filled level by
+level with one gathered ``max``-reduction per level instead of a per-node
+Python loop, and path reconstruction uses the kernel's deterministic
+smallest-topological-position tie-break (equal-delay paths no longer depend
+on set iteration order, i.e. on ``PYTHONHASHSEED``).
 """
 
 from __future__ import annotations
@@ -14,12 +21,26 @@ from typing import Mapping, Protocol
 
 import numpy as np
 
-from repro.ir.analysis import topological_order
 from repro.ir.graph import DataflowGraph
 from repro.ir.node import Node
+from repro.kernel import (
+    NOT_CONNECTED,
+    GraphView,
+    UNREACHED,
+    longest_path_from,
+    path_delay as _kernel_path_delay,
+    reconstruct_path,
+)
+from repro.kernel import critical_path_matrix as _kernel_critical_path_matrix
 
-#: Sentinel stored in the delay matrix for unconnected node pairs.
-NOT_CONNECTED = -1.0
+__all__ = [
+    "NOT_CONNECTED",
+    "DelayModelProtocol",
+    "node_delays",
+    "critical_path_matrix",
+    "path_delay",
+    "critical_path_between",
+]
 
 
 class DelayModelProtocol(Protocol):
@@ -48,52 +69,41 @@ def critical_path_matrix(graph: DataflowGraph, delays: Mapping[int, float]
         delays: isolated delay of every node id.
 
     Returns:
-        ``(matrix, index_of)`` where ``index_of`` maps node id to row/column.
+        ``(matrix, index_of)`` where ``index_of`` maps node id to row/column
+        (the kernel's topological position).
     """
-    order = topological_order(graph)
-    index_of = {node_id: index for index, node_id in enumerate(order)}
-    size = len(order)
-    matrix = np.full((size, size), NOT_CONNECTED, dtype=float)
-
-    for node_id in order:
-        column = index_of[node_id]
-        delay = float(delays[node_id])
-        operand_columns = sorted({index_of[o] for o in graph.operands_of(node_id)})
-        if operand_columns:
-            incoming = matrix[:, operand_columns]
-            connected = incoming != NOT_CONNECTED
-            candidates = np.where(connected, incoming + delay, NOT_CONNECTED)
-            matrix[:, column] = np.maximum(matrix[:, column], candidates.max(axis=1))
-        matrix[column, column] = delay
-    return matrix, index_of
+    view = GraphView.from_dataflow(graph)
+    matrix = _kernel_critical_path_matrix(view, view.delay_vector(delays))
+    return matrix, dict(view.index_of)
 
 
 def path_delay(graph: DataflowGraph, delays: Mapping[int, float],
                path: list[int]) -> float:
-    """Sum of node delays along an explicit path (validation helper)."""
-    return sum(float(delays[node_id]) for node_id in path)
+    """Sum of node delays along an explicit path (validation helper).
+
+    Thin wrapper over :func:`repro.kernel.path_delay`, the single shared
+    implementation also backing the netlist-level helper
+    (:meth:`repro.netlist.sta.StaticTimingAnalysis.path_delay`).
+    """
+    return _kernel_path_delay(delays, path)
 
 
 def critical_path_between(graph: DataflowGraph, delays: Mapping[int, float],
                           source: int, sink: int) -> tuple[float, list[int]]:
     """Critical path delay and one realising path from ``source`` to ``sink``.
 
+    Ties between equal-delay paths are broken deterministically toward the
+    predecessor with the smallest topological position (the result of
+    relaxing users in sorted order), so the reconstructed path is independent
+    of ``PYTHONHASHSEED``.
+
     Returns ``(NOT_CONNECTED, [])`` if ``sink`` is unreachable.
     """
-    best: dict[int, float] = {source: float(delays[source])}
-    parent: dict[int, int] = {}
-    for node_id in topological_order(graph):
-        if node_id not in best:
-            continue
-        for user in set(graph.users_of(node_id)):
-            candidate = best[node_id] + float(delays[user])
-            if candidate > best.get(user, float("-inf")):
-                best[user] = candidate
-                parent[user] = node_id
-    if sink not in best:
+    view = GraphView.from_dataflow(graph)
+    values, parents = longest_path_from(view, view.delay_vector(delays),
+                                        view.index_of[source])
+    sink_index = view.index_of[sink]
+    if values[sink_index] == UNREACHED:
         return NOT_CONNECTED, []
-    path = [sink]
-    while path[-1] != source:
-        path.append(parent[path[-1]])
-    path.reverse()
-    return best[sink], path
+    dense = reconstruct_path(parents, view.index_of[source], sink_index)
+    return float(values[sink_index]), view.ids_of(dense)

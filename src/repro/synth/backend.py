@@ -154,24 +154,31 @@ class EstimatorBackend:
 
     def evaluate_subgraph(self, graph: DataflowGraph, node_ids: Iterable[int],
                           name: str = "") -> SynthesisReport:
-        """Longest-path delay estimate of the induced subgraph."""
-        from repro.ir.analysis import topological_order
+        """Longest-path delay estimate of the induced subgraph.
 
+        The propagation is one masked kernel sweep: members outside the
+        subgraph neither receive nor relay values, and predecessor-less
+        members start from zero (``floor=0.0``), exactly the induced-DAG
+        longest path the per-node loop used to compute.
+        """
+        import numpy as np
+
+        from repro.kernel import GraphView, forward_propagate
+
+        view = GraphView.from_dataflow(graph)
         wanted = tuple(sorted(set(node_ids)))
-        members = set(wanted)
-        best: dict[int, float] = {}
+        mask = np.zeros(view.num_nodes, dtype=bool)
+        mask[view.dense_of(wanted)] = True
+        delays = np.zeros(view.num_nodes, dtype=float)
         gates = 0
-        for nid in topological_order(graph):
-            if nid not in members:
-                continue
+        for nid in wanted:
             node = graph.node(nid)
-            delay = 0.0 if node.is_source else self.model.node_delay(node)
-            if not node.is_source:
-                gates += node.width * max(1, len(node.operands))
-            upstream = max((best[op] for op in node.operands if op in best),
-                           default=0.0)
-            best[nid] = upstream + delay
-        critical = max(best.values(), default=0.0)
+            if node.is_source:
+                continue
+            delays[view.index_of[nid]] = self.model.node_delay(node)
+            gates += node.width * max(1, len(node.operands))
+        values, _ = forward_propagate(view, delays, mask=mask, floor=0.0)
+        critical = float(values[mask].max()) if wanted else 0.0
         return SynthesisReport(
             name=name or f"{graph.name}_est{len(wanted)}",
             delay_ps=critical,

@@ -113,18 +113,18 @@ class NaiveDelayEstimator:
                             delays: dict[int, float] | None = None) -> float:
         """Largest delay sum over any path from ``source`` to ``sink``.
 
+        One kernel single-source longest-path sweep over the graph's shared
+        :class:`~repro.kernel.GraphView` (values only, no path).
+
         Returns ``-1.0`` if ``sink`` is unreachable from ``source``.
         """
-        from repro.ir.analysis import topological_order
+        from repro.kernel import GraphView, UNREACHED, longest_path_from
 
+        view = GraphView.from_dataflow(graph)
         if delays is None:
             delays = {n.node_id: self.node_delay(n) for n in graph.nodes()}
-        best: dict[int, float] = {source: delays[source]}
-        for nid in topological_order(graph):
-            if nid not in best:
-                continue
-            for user in graph.users_of(nid):
-                candidate = best[nid] + delays[user]
-                if candidate > best.get(user, float("-inf")):
-                    best[user] = candidate
-        return best.get(sink, -1.0)
+        values, _ = longest_path_from(view, view.delay_vector(delays),
+                                      view.index_of[source],
+                                      with_parents=False)
+        value = values[view.index_of[sink]]
+        return float(value) if value != UNREACHED else -1.0

@@ -94,3 +94,54 @@ class TestLoweredDesignTiming:
 
         assert chained < 2 * one
         assert chained > one
+
+
+class _CountingLibrary:
+    """Wraps a TechLibrary and counts delay lookups per cell."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.delay_calls: dict[str, int] = {}
+
+    def delay(self, cell: str) -> float:
+        self.delay_calls[cell] = self.delay_calls.get(cell, 0) + 1
+        return self._inner.delay(cell)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestKindDelayTable:
+    def test_library_queried_once_per_kind(self, library):
+        counting = _CountingLibrary(library)
+        sta = StaticTimingAnalysis(counting)
+        assert all(count == 1 for count in counting.delay_calls.values())
+        baseline = dict(counting.delay_calls)
+
+        netlist = Netlist("table")
+        a = netlist.add_input("a")
+        cursor = a
+        for _ in range(10):
+            cursor = netlist.add_gate(GateKind.INV, (cursor,))
+        netlist.mark_output(cursor)
+        sta.run(netlist)
+        sta.run(netlist)
+        # Ten INV gates over two runs: still the single construction-time
+        # library lookup per kind.
+        assert counting.delay_calls == baseline
+
+    def test_gate_delay_matches_library(self, library):
+        sta = StaticTimingAnalysis(library)
+        for kind in GateKind:
+            if kind.cell_name is None:
+                assert sta.gate_delay(kind) == 0.0
+            else:
+                assert sta.gate_delay(kind) == library.delay(kind.cell_name)
+
+    def test_path_delay_uses_table(self, sta, library):
+        netlist = Netlist("pd")
+        a = netlist.add_input("a")
+        g1 = netlist.add_gate(GateKind.INV, (a,))
+        g2 = netlist.add_gate(GateKind.AND2, (g1, a))
+        assert sta.path_delay(netlist, [a, g1, g2]) == pytest.approx(
+            library.delay("inv") + library.delay("and2"))

@@ -1,5 +1,10 @@
 """Tests for the all-pairs critical-path delay matrix."""
 
+import json
+import os
+import subprocess
+import sys
+
 import pytest
 
 from repro.sdc.delays import (
@@ -7,6 +12,7 @@ from repro.sdc.delays import (
     critical_path_between,
     critical_path_matrix,
     node_delays,
+    path_delay,
 )
 from repro.tech.delay_model import OperatorModel
 
@@ -58,3 +64,65 @@ class TestCriticalPathMatrix:
         params = [p.node_id for p in diamond_graph.parameters()]
         delay, path = critical_path_between(diamond_graph, delays, params[0], params[1])
         assert delay == NOT_CONNECTED and path == []
+
+
+class TestPathDelayHelper:
+    def test_sums_node_delays(self, diamond_graph):
+        delays = node_delays(diamond_graph, OperatorModel())
+        names = {n.name: n.node_id for n in diamond_graph.nodes()}
+        path = [names["base"], names["right"], names["join"]]
+        assert path_delay(diamond_graph, delays, path) == pytest.approx(
+            sum(delays[nid] for nid in path))
+
+    def test_shares_kernel_implementation(self):
+        from repro.kernel import path_delay as kernel_path_delay
+
+        delays = {0: 1.0, 1: 2.0}
+        assert path_delay(None, delays, [0, 1]) == \
+            kernel_path_delay(delays, [0, 1])
+
+
+_TIE_SCRIPT = r"""
+import json, sys
+from repro.ir.builder import GraphBuilder
+from repro.sdc.delays import critical_path_between
+
+# Eight parallel equal-delay two-hop branches between 'base' and the sink:
+# under the historical set-iteration relaxation, which branch the
+# reconstructed path took could follow hash order.
+builder = GraphBuilder("ties")
+a = builder.param("a", 8)
+base = builder.add(a, a, name="base")
+branches = [builder.add(base, a, name=f"branch{i}") for i in range(8)]
+mid = [builder.add(b, a, name=f"mid{i}") for i, b in enumerate(branches)]
+sink = mid[0]
+for other in mid[1:]:
+    sink = builder.and_(sink, other)
+builder.output(sink)
+graph = builder.graph
+delays = {node.node_id: 1.0 for node in graph.nodes()}
+delay, path = critical_path_between(graph, delays, base.node_id,
+                                    sink.node_id)
+json.dump({"delay": delay, "path": path}, sys.stdout, sort_keys=True)
+"""
+
+
+def _run_under_hash_seed(script: str, hash_seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    completed = subprocess.run([sys.executable, "-c", script], env=env,
+                               capture_output=True, text=True, timeout=120)
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+@pytest.mark.parametrize("other_seed", ["1", "31337", "random"])
+def test_critical_path_between_is_hashseed_independent(other_seed):
+    """Equal-delay path reconstruction must not depend on PYTHONHASHSEED."""
+    baseline = _run_under_hash_seed(_TIE_SCRIPT, "0")
+    payload = json.loads(baseline)
+    assert len(payload["path"]) >= 3  # sanity: a real multi-hop path
+    assert _run_under_hash_seed(_TIE_SCRIPT, other_seed) == baseline
