@@ -39,6 +39,13 @@ DEFAULT_OP_MIX: tuple[tuple[str, int], ...] = (
 
 _KNOWN_OPS = frozenset(op for op, _ in DEFAULT_OP_MIX)
 
+#: Multiplier-free mix used by the scale benchmarks: keeps per-node delays
+#: (and, where lowering happens at all, gate counts) small enough that design
+#: size is the only variable across a ladder.
+LEAN_OP_MIX: tuple[tuple[str, int], ...] = (
+    ("add", 4), ("sub", 2), ("xor", 3), ("and", 2), ("or", 2), ("rotr", 1),
+)
+
 
 @dataclass(frozen=True)
 class GeneratorParams:
@@ -171,10 +178,28 @@ def build_generated_design(params: GeneratorParams) -> DataflowGraph:
     return builder.graph
 
 
+def scale_of(params: GeneratorParams) -> str:
+    """Size class of a parameter set, from the operation-count estimate.
+
+    ``depth * width`` is the number of layer positions; ``select`` positions
+    emit two nodes, so the estimate is a floor, which is the right bias for
+    picking tractable pytest subsets.
+    """
+    operations = params.depth * params.width
+    if operations >= 10_000:
+        return "huge"
+    if operations >= 2_000:
+        return "large"
+    if operations >= 500:
+        return "medium"
+    return "small"
+
+
 def generated_case(params: GeneratorParams) -> BenchmarkCase:
     """Wrap a parameter set as a :class:`BenchmarkCase` (Table-I compatible)."""
     return BenchmarkCase(params.name, params.clock_period_ps,
-                         lambda: build_generated_design(params), "small")
+                         lambda: build_generated_design(params),
+                         scale_of(params))
 
 
 def generated_suite(count: int = 4, seed: int = 0, depth: int = 6,
@@ -185,6 +210,31 @@ def generated_suite(count: int = 4, seed: int = 0, depth: int = 6,
                                            width=width, fanout=fanout,
                                            bit_width=bit_width))
             for offset in range(count)]
+
+
+#: The ``huge`` benchmark tier: 10k--100k-node shapes stressing the three
+#: regimes the sparse/incremental kernel paths target.  ``wide`` and
+#: ``fanout`` stay sparsely connected (the sparse all-pairs sweep wins by an
+#: order of magnitude); ``deep`` saturates reachability across its narrow
+#: band (density well above the cutover, exercising the automatic dense
+#: fallback); ``xwide`` is the ~100k-node shape reserved for nightly runs,
+#: far past what a dense ``n x n`` matrix can allocate.
+HUGE_SHAPES: tuple[tuple[str, GeneratorParams], ...] = (
+    ("wide", GeneratorParams(seed=7, depth=10, width=1000, fanout=1,
+                             num_inputs=64, op_mix=LEAN_OP_MIX)),
+    ("deep", GeneratorParams(seed=7, depth=200, width=50, fanout=2,
+                             num_inputs=16, op_mix=LEAN_OP_MIX)),
+    ("fanout", GeneratorParams(seed=7, depth=40, width=250, fanout=16,
+                               num_inputs=32, op_mix=LEAN_OP_MIX)),
+    ("xwide", GeneratorParams(seed=7, depth=10, width=10000, fanout=1,
+                              num_inputs=256, op_mix=LEAN_OP_MIX)),
+)
+
+
+def huge_suite(nightly: bool = False) -> list[BenchmarkCase]:
+    """The ``huge``-tier benchmark cases (``xwide`` only when ``nightly``)."""
+    return [generated_case(params) for name, params in HUGE_SHAPES
+            if nightly or name != "xwide"]
 
 
 def case_from_name(name: str) -> BenchmarkCase:
@@ -205,9 +255,13 @@ def case_from_name(name: str) -> BenchmarkCase:
 __all__ = [
     "DEFAULT_OP_MIX",
     "GENERATED_PREFIX",
+    "HUGE_SHAPES",
     "GeneratorParams",
+    "LEAN_OP_MIX",
     "build_generated_design",
     "case_from_name",
     "generated_case",
     "generated_suite",
+    "huge_suite",
+    "scale_of",
 ]

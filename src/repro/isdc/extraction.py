@@ -27,9 +27,10 @@ from repro.isdc.config import ExpansionStrategy, ExtractionStrategy, IsdcConfig
 from repro.isdc.delay_matrix import DelayMatrix
 from repro.kernel import (
     GraphView,
+    NOT_CONNECTED,
     UNREACHED,
     longest_path_from,
-    reachable_mask,
+    reachable_indices,
     reconstruct_path,
 )
 from repro.sdc.scheduler import Schedule
@@ -52,8 +53,12 @@ class _ScheduleContext:
         self.stage_vector = np.asarray(
             [stages[nid] for nid in self.view.order_ids()], dtype=np.int64)
         self._stage_masks: dict[int, np.ndarray] = {}
+        self._cones: dict[int, np.ndarray] = {}
+        self._scratch = np.zeros(self.view.num_nodes, dtype=bool)
         self._delays: np.ndarray | None = None
         self._delays_for: DelayMatrix | None = None
+        self._aligned_for: DelayMatrix | None = None
+        self._aligned = False
         self._registered: list[int] | None = None
 
     def stage_mask(self, stage: int) -> np.ndarray:
@@ -63,11 +68,27 @@ class _ScheduleContext:
                                         & ~self.view.source_mask)
         return self._stage_masks[stage]
 
+    def cone_indices(self, root: int) -> np.ndarray:
+        """In-stage ancestor cone of ``root`` as ascending dense indices.
+
+        Frontier-compressed and cached per root (candidate enumeration, path
+        reconstruction and window expansion all revisit the same cones): the
+        sweep reuses one scratch visited buffer, so each cone costs
+        O(cone), not O(n).  Like the traversal mask, the result excludes a
+        source root.  Do not mutate the returned array.
+        """
+        if root not in self._cones:
+            self._cones[root] = reachable_indices(
+                self.view, [self.view.index_of[root]], backward=True,
+                mask=self.stage_mask(self.schedule.stage_of(root)),
+                scratch=self._scratch)
+        return self._cones[root]
+
     def cone_mask(self, root: int) -> np.ndarray:
         """Boolean in-stage ancestor cone of ``root`` over dense indices."""
-        return reachable_mask(
-            self.view, [self.view.index_of[root]], backward=True,
-            mask=self.stage_mask(self.schedule.stage_of(root)))
+        mask = np.zeros(self.view.num_nodes, dtype=bool)
+        mask[self.cone_indices(root)] = True
+        return mask
 
     def cone_ids(self, root: int) -> set[int]:
         """In-stage ancestor cone of ``root`` as node ids (root included).
@@ -75,9 +96,21 @@ class _ScheduleContext:
         ``root`` is part of its own cone by definition, even when the
         traversal mask would reject it (a source root).
         """
-        cone = set(self.view.ids_of(np.nonzero(self.cone_mask(root))[0]))
+        cone = set(self.view.ids_of(self.cone_indices(root)))
         cone.add(root)
         return cone
+
+    def matrix_aligned(self, delay_matrix: DelayMatrix) -> bool:
+        """True when the matrix rows/columns are this context's dense indices.
+
+        Always the case in the ISDC loop (the matrix is built from the same
+        graph's view); checked once per matrix so candidate scoring can index
+        :attr:`DelayMatrix.matrix` directly with cone indices.
+        """
+        if self._aligned_for is not delay_matrix:
+            self._aligned = delay_matrix.index_of == self.view.index_of
+            self._aligned_for = delay_matrix
+        return self._aligned
 
     def individual_delays(self, delay_matrix: DelayMatrix) -> np.ndarray:
         """The matrix diagonal (isolated node delays) in dense order."""
@@ -205,6 +238,34 @@ def fanout_score(graph: DataflowGraph, sink: int, delay_ps: float,
     return (node.width + ratio) / (graph.num_users(sink) + 1)
 
 
+def _best_source(context: _ScheduleContext, delay_matrix: DelayMatrix,
+                 sink: int) -> int:
+    """The in-stage ancestor of ``sink`` with the largest estimated delay.
+
+    Ties between equal-delay sources break toward the smallest node id --
+    historically ``max()`` over id-sorted cone members, here the first
+    ``argmax`` over the id-ordered gathered matrix column (identical, and
+    independent of ``PYTHONHASHSEED``).  ``sink`` itself when the cone holds
+    no other node.
+    """
+    view = context.view
+    sink_index = view.index_of[sink]
+    cone = context.cone_indices(sink)
+    sources = cone[cone != sink_index]
+    if sources.size == 0:
+        return sink
+    if not context.matrix_aligned(delay_matrix):
+        return max(sorted(view.ids_of(sources)),
+                   key=lambda nid: (delay_matrix.get(nid, sink)
+                                    if delay_matrix.is_connected(nid, sink)
+                                    else 0.0))
+    ids = np.asarray(view.ids_of(sources), dtype=np.int64)
+    by_id = np.argsort(ids)
+    delays = delay_matrix.matrix[sources[by_id], sink_index]
+    delays = np.where(delays == NOT_CONNECTED, 0.0, delays)
+    return int(ids[by_id[np.argmax(delays)]])
+
+
 def enumerate_candidate_paths(schedule: Schedule, delay_matrix: DelayMatrix,
                               strategy: ExtractionStrategy,
                               clock_period_ps: float) -> list[CandidatePath]:
@@ -228,17 +289,7 @@ def _enumerate_candidate_paths(context: _ScheduleContext,
     graph = schedule.graph
     candidates: list[CandidatePath] = []
     for sink in context.registered_nodes():
-        cone = context.cone_ids(sink)
-        # Sorted iteration keeps max()'s tie-break between equal-delay
-        # sources independent of set order (and thus of PYTHONHASHSEED).
-        sources = sorted(nid for nid in cone if nid != sink)
-        if sources:
-            best_source = max(
-                sources,
-                key=lambda nid: (delay_matrix.get(nid, sink)
-                                 if delay_matrix.is_connected(nid, sink) else 0.0))
-        else:
-            best_source = sink
+        best_source = _best_source(context, delay_matrix, sink)
         delay = delay_matrix.get(best_source, sink)
         if delay <= 0:
             continue

@@ -1,82 +1,132 @@
-"""Micro-benchmark: historical per-node loops vs the vectorized kernel.
+"""Micro-benchmark: historical loops vs the vectorized + sparse kernel.
 
-Times the two hot primitives the kernel refactor targets -- all-pairs
-delay-matrix initialisation (Alg. 1 lines 1--9) and netlist STA -- against
-the pure-Python reference implementations kept in
-:mod:`repro.kernel.reference`, across a ladder of seeded ``gen:`` design
-sizes.  Every timed pair is also checked for *byte-identical* results, so the
-benchmark doubles as the divergence gate of the ``bench-kernel`` CI job.
+Two benchmark families back ``BENCH_kernel.json``:
+
+* The **reference ladder** (``--scale``) times the two hot primitives the
+  original kernel refactor targeted -- all-pairs delay-matrix initialisation
+  (Alg. 1 lines 1--9) and netlist STA -- against the pure-Python reference
+  implementations kept in :mod:`repro.kernel.reference`, across seeded
+  ``gen:`` designs.  Every timed pair is checked for *byte-identical*
+  results, so the benchmark doubles as the divergence gate of the
+  ``bench-kernel`` CI job.
+* The **huge tier** (``--huge`` / ``--nightly``) times the scaling paths on
+  the 10k--100k-node shapes of :data:`repro.designs.generator.HUGE_SHAPES`:
+  the sparse all-pairs sweep against the dense kernel, and incremental
+  :class:`GraphView` patching against a from-scratch rebuild after a small
+  structural delta.  Sparse results are verified bit-identical against the
+  dense matrix where one fits in memory, and against sampled
+  single-source ``longest_path_from`` rows on the nightly ~100k shape.
+
+Timings are best-of-``--repeats`` (single-shot once a measurement exceeds
+``--time-box`` seconds); peak memory is sampled with :mod:`tracemalloc` in a
+separate untimed pass.  ``--baseline`` compares the run against a committed
+``BENCH_kernel.json`` and fails on a >``--max-regression`` drop of the
+largest reference tier's combined speedup.
 
 Usage::
 
-    python -m repro.kernel.bench --scale full --out BENCH_kernel.json
-
-The JSON records, per design: node/edge/gate counts and best-of-``--repeats``
-timings for reference and kernel (matrix and STA), plus the per-primitive and
-combined speedups.  Kernel timings are measured with the design's
-:class:`~repro.kernel.GraphView` warm (the view is built once per graph and
-shared by every consuming layer); the one-off view construction cost is
-reported separately as ``view_build_s``.
+    python -m repro.kernel.bench --scale full --huge --out BENCH_kernel.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import random
 import sys
 import time
+import tracemalloc
 from typing import Callable
 
 import numpy as np
 
-from repro.designs.generator import GeneratorParams, build_generated_design
-from repro.kernel import GraphView
+from repro.designs.generator import (
+    HUGE_SHAPES,
+    GeneratorParams,
+    LEAN_OP_MIX,
+    build_generated_design,
+)
+from repro.ir.ops import OpKind
+from repro.kernel import (
+    GraphView,
+    NOT_CONNECTED,
+    UNREACHED,
+    kernel_config,
+    longest_path_from,
+    set_kernel_config,
+    sparse_critical_path_matrix,
+)
 from repro.kernel import critical_path_matrix as kernel_matrix
+from repro.kernel.delta import delta_log
+from repro.kernel.patch import patch_view
 from repro.kernel.reference import (
     graph_adjacency,
     reference_critical_path_matrix,
     reference_sta,
     reference_topological_order,
 )
+from repro.kernel.view import _CACHE_ATTR
 from repro.netlist.lowering import lower_graph
 from repro.netlist.sta import StaticTimingAnalysis
 from repro.sdc.delays import node_delays
 from repro.tech.delay_model import OperatorModel
 
-#: (tier, generator parameters) ladder per scale.  The op mix drops ``mul``
-#: so the gate-level designs stay lowerable in seconds at every size.
-_OP_MIX: tuple[tuple[str, int], ...] = (
-    ("add", 4), ("sub", 2), ("xor", 3), ("and", 2), ("or", 2), ("rotr", 1),
-)
-
 _SCALES: dict[str, list[tuple[str, GeneratorParams]]] = {
     "quick": [
-        ("small", GeneratorParams(seed=7, depth=6, width=5, op_mix=_OP_MIX)),
-        ("medium", GeneratorParams(seed=7, depth=10, width=12, op_mix=_OP_MIX)),
-        ("large", GeneratorParams(seed=7, depth=14, width=20, op_mix=_OP_MIX)),
+        ("small", GeneratorParams(seed=7, depth=6, width=5, op_mix=LEAN_OP_MIX)),
+        ("medium", GeneratorParams(seed=7, depth=10, width=12, op_mix=LEAN_OP_MIX)),
+        ("large", GeneratorParams(seed=7, depth=14, width=20, op_mix=LEAN_OP_MIX)),
     ],
     "full": [
-        ("small", GeneratorParams(seed=7, depth=8, width=8, op_mix=_OP_MIX)),
-        ("medium", GeneratorParams(seed=7, depth=14, width=20, op_mix=_OP_MIX)),
-        ("large", GeneratorParams(seed=7, depth=20, width=40, op_mix=_OP_MIX)),
-        ("xlarge", GeneratorParams(seed=7, depth=28, width=60, op_mix=_OP_MIX)),
+        ("small", GeneratorParams(seed=7, depth=8, width=8, op_mix=LEAN_OP_MIX)),
+        ("medium", GeneratorParams(seed=7, depth=14, width=20, op_mix=LEAN_OP_MIX)),
+        ("large", GeneratorParams(seed=7, depth=20, width=40, op_mix=LEAN_OP_MIX)),
+        ("xlarge", GeneratorParams(seed=7, depth=28, width=60, op_mix=LEAN_OP_MIX)),
     ],
 }
 
+#: Above this node count the dense ``n x n`` comparison is skipped (a 30k
+#: matrix alone is ~7 GB); parity then runs against sampled rows.
+_DENSE_NODE_CAP = 20_000
 
-def _best_of(repeats: int, run: Callable[[], object]) -> tuple[float, object]:
-    """Minimum wall-clock over ``repeats`` runs, plus the last result."""
+#: Structural edits applied for the patch-vs-rebuild comparison.
+_PATCH_DELTA = 64
+
+#: Sampled sources for the parity check of dense-infeasible shapes.
+_PARITY_SAMPLES = 16
+
+
+def _best_of(repeats: int, run: Callable[[], object],
+             time_box: float = float("inf")) -> tuple[float, object]:
+    """Minimum wall-clock over up to ``repeats`` runs, plus the last result.
+
+    Stops repeating once a run exceeds ``time_box`` seconds: at that scale
+    run-to-run variance is small against the effects being measured, and the
+    huge tier must stay inside a CI time slot.
+    """
     best = float("inf")
     result: object = None
     for _ in range(repeats):
         start = time.perf_counter()
         result = run()
         best = min(best, time.perf_counter() - start)
+        if best > time_box:
+            break
     return best, result
 
 
+def _peak_memory(run: Callable[[], object]) -> int:
+    """Peak traced allocation (bytes) of one untimed run."""
+    tracemalloc.start()
+    try:
+        run()
+        return tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+
+
 def bench_design(tier: str, params: GeneratorParams, repeats: int) -> dict:
-    """Benchmark one generated design; raises on any kernel divergence."""
+    """Benchmark one reference-ladder design; raises on kernel divergence."""
     graph = build_generated_design(params)
     delays = node_delays(graph, OperatorModel())
     ids, operands, users = graph_adjacency(graph)
@@ -111,6 +161,9 @@ def bench_design(tier: str, params: GeneratorParams, repeats: int) -> dict:
             or ref_arrival != new_result.arrival_times):
         raise SystemExit(f"kernel STA diverges from reference on {params.name}")
 
+    peak_mem = _peak_memory(lambda: (kernel_matrix(view, delay_vector),
+                                     sta.run(netlist)))
+
     combined_ref = matrix_ref_s + sta_ref_s
     combined_new = matrix_new_s + sta_new_s
     return {
@@ -120,6 +173,7 @@ def bench_design(tier: str, params: GeneratorParams, repeats: int) -> dict:
         "num_edges": int(len(view.pred_indices)),
         "num_gates": len(netlist),
         "view_build_s": view_build_s,
+        "peak_mem_bytes": peak_mem,
         "matrix": {
             "reference_s": matrix_ref_s,
             "kernel_s": matrix_new_s,
@@ -134,19 +188,171 @@ def bench_design(tier: str, params: GeneratorParams, repeats: int) -> dict:
     }
 
 
+def _sampled_parity(view: GraphView, delay_vector: np.ndarray,
+                    sparse, name: str) -> None:
+    """Check sparse rows against single-source sweeps on sampled sources.
+
+    For dense-infeasible shapes: ``longest_path_from(s)`` is the logical
+    matrix row ``s``, independently computed; the sparse transpose CSR must
+    reproduce it exactly on every sampled source.
+    """
+    indptr, indices, data = sparse.transpose_arrays()
+    rng = random.Random(0)
+    for source in rng.sample(range(view.num_nodes), _PARITY_SAMPLES):
+        values, _ = longest_path_from(view, delay_vector, source,
+                                      with_parents=False)
+        expected = np.where(values == UNREACHED, NOT_CONNECTED, values)
+        row = np.full(view.num_nodes, NOT_CONNECTED, dtype=float)
+        row[indices[indptr[source]:indptr[source + 1]]] = (
+            data[indptr[source]:indptr[source + 1]])
+        if not np.array_equal(row, expected):
+            raise SystemExit(
+                f"sparse matrix diverges from single-source sweep on "
+                f"{name} (source {source})")
+
+
+def bench_huge_design(shape: str, params: GeneratorParams, repeats: int,
+                      time_box: float) -> dict:
+    """Benchmark the scaling paths on one huge-tier shape."""
+    build_start = time.perf_counter()
+    graph = build_generated_design(params)
+    graph_build_s = time.perf_counter() - build_start
+    delays = node_delays(graph, OperatorModel())
+
+    view_start = time.perf_counter()
+    view = GraphView.from_dataflow(graph)
+    view_build_s = time.perf_counter() - view_start
+    delay_vector = view.delay_vector(delays)
+    n = view.num_nodes
+
+    # --- sparse vs dense all-pairs sweep -----------------------------------
+    sparse_s, sparse = _best_of(
+        repeats,
+        lambda: sparse_critical_path_matrix(view, delay_vector,
+                                            nnz_budget=None),
+        time_box)
+    config = kernel_config()
+    auto_sparse = (config.wants_sparse(n)
+                   and sparse.nnz <= config.nnz_budget(n))
+    record_matrix = {
+        "sparse_s": sparse_s,
+        "nnz": int(sparse.nnz),
+        "density": float(sparse.density),
+        "auto_picks_sparse": bool(auto_sparse),
+        "dense_s": None,
+        "sparse_speedup": None,
+        "parity": "sampled",
+    }
+    if n <= _DENSE_NODE_CAP:
+        dense_s, dense = _best_of(
+            repeats, lambda: kernel_matrix(view, delay_vector), time_box)
+        if not np.array_equal(dense, sparse.to_dense()):
+            raise SystemExit(
+                f"sparse matrix diverges from dense kernel on {params.name}")
+        record_matrix.update(dense_s=dense_s,
+                             sparse_speedup=dense_s / sparse_s,
+                             parity="full")
+        del dense
+    else:
+        _sampled_parity(view, delay_vector, sparse, params.name)
+
+    # --- incremental patch vs full rebuild ---------------------------------
+    rng = random.Random(12345)
+    node_ids = graph.node_ids()
+    for _ in range(_PATCH_DELTA):
+        graph.add_node(OpKind.XOR, (rng.choice(node_ids), rng.choice(node_ids)))
+    delta = list(delta_log(graph))
+    patch_s, patched = _best_of(repeats, lambda: patch_view(view, delta))
+
+    saved_config = kernel_config()
+    set_kernel_config(saved_config, patch_mode="never")
+    try:
+        def rebuild():
+            if hasattr(graph, _CACHE_ATTR):
+                delattr(graph, _CACHE_ATTR)
+            return GraphView.from_dataflow(graph)
+
+        rebuild_s, rebuilt = _best_of(repeats, rebuild, time_box)
+    finally:
+        set_kernel_config(saved_config)
+    if (patched.order_ids() != rebuilt.order_ids()
+            or not np.array_equal(patched.levels, rebuilt.levels)
+            or not np.array_equal(patched.pred_indptr, rebuilt.pred_indptr)
+            or not np.array_equal(patched.pred_indices, rebuilt.pred_indices)
+            or not np.array_equal(patched.succ_indptr, rebuilt.succ_indptr)
+            or not np.array_equal(patched.succ_indices, rebuilt.succ_indices)):
+        raise SystemExit(
+            f"patched GraphView diverges from rebuild on {params.name}")
+
+    # --- peak memory (untimed pass; the dense peak is ~2 n^2 doubles by
+    # construction, so only the scaling paths are worth sampling) -----------
+    sparse_peak = _peak_memory(
+        lambda: sparse_critical_path_matrix(view, delay_vector,
+                                            nnz_budget=None))
+    patch_peak = _peak_memory(lambda: patch_view(view, delta))
+
+    return {
+        "name": params.name,
+        "tier": "huge",
+        "shape": shape,
+        "num_nodes": n,
+        "num_edges": int(len(view.pred_indices)),
+        "graph_build_s": graph_build_s,
+        "view_build_s": view_build_s,
+        "matrix": record_matrix,
+        "patch": {
+            "delta": _PATCH_DELTA,
+            "patch_s": patch_s,
+            "rebuild_s": rebuild_s,
+            "speedup": rebuild_s / patch_s,
+        },
+        "peak_mem": {
+            "sparse_bytes": sparse_peak,
+            "patch_bytes": patch_peak,
+        },
+    }
+
+
+def _gate(condition: bool, message: str) -> int:
+    if condition:
+        print(message, file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Kernel micro-benchmark (reference vs vectorized), "
-                    "with a built-in divergence gate.")
+        description="Kernel micro-benchmark (reference vs vectorized, dense "
+                    "vs sparse, rebuild vs patch), with built-in divergence "
+                    "and regression gates.")
     parser.add_argument("--scale", choices=sorted(_SCALES), default="quick",
-                        help="design-size ladder (default: quick)")
+                        help="reference-ladder design sizes (default: quick)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repeats, best-of (default: 3)")
+    parser.add_argument("--time-box", type=float, default=5.0,
+                        help="seconds past which a measurement is not "
+                             "repeated (default: 5)")
+    parser.add_argument("--huge", action="store_true",
+                        help="also run the huge tier (10k-node shapes)")
+    parser.add_argument("--nightly", action="store_true",
+                        help="include the ~100k-node nightly shape "
+                             "(implies --huge)")
     parser.add_argument("--out", default="BENCH_kernel.json",
                         help="output JSON path (default: BENCH_kernel.json)")
     parser.add_argument("--min-speedup", type=float, default=0.0,
-                        help="fail unless the largest tier's combined "
-                             "speedup reaches this factor (default: off)")
+                        help="fail unless the largest reference tier's "
+                             "combined speedup reaches this factor")
+    parser.add_argument("--min-sparse-speedup", type=float, default=0.0,
+                        help="fail unless every sparse-eligible huge shape "
+                             "beats dense by this factor")
+    parser.add_argument("--min-patch-speedup", type=float, default=0.0,
+                        help="fail unless every huge shape's patch beats a "
+                             "rebuild by this factor")
+    parser.add_argument("--baseline", default=None,
+                        help="committed BENCH_kernel.json to diff against")
+    parser.add_argument("--max-regression", type=float, default=0.2,
+                        help="tolerated fractional combined-speedup drop "
+                             "versus --baseline (default: 0.2)")
     args = parser.parse_args(argv)
 
     designs = []
@@ -159,9 +365,26 @@ def main(argv: list[str] | None = None) -> int:
               f"sta {record['sta']['speedup']:5.1f}x | "
               f"combined {record['combined_speedup']:5.1f}x")
 
+    huge = []
+    if args.huge or args.nightly:
+        for shape, params in HUGE_SHAPES:
+            if shape == "xwide" and not args.nightly:
+                continue
+            record = bench_huge_design(shape, params, args.repeats,
+                                       args.time_box)
+            huge.append(record)
+            matrix = record["matrix"]
+            sparse_part = (f"sparse {matrix['sparse_speedup']:5.1f}x vs dense"
+                           if matrix["sparse_speedup"] is not None
+                           else f"sparse {matrix['sparse_s']:.2f}s "
+                                f"({matrix['parity']} parity)")
+            print(f"[huge:{shape:>6}] {record['num_nodes']:6d} nodes | "
+                  f"{sparse_part} | density {matrix['density']:.3f} | "
+                  f"patch {record['patch']['speedup']:5.1f}x vs rebuild")
+
     largest = designs[-1]
     payload = {
-        "schema": 1,
+        "schema": 2,
         "scale": args.scale,
         "repeats": args.repeats,
         "designs": designs,
@@ -173,16 +396,55 @@ def main(argv: list[str] | None = None) -> int:
             "combined_speedup": largest["combined_speedup"],
         },
     }
+    if huge:
+        sparse_speedups = [r["matrix"]["sparse_speedup"] for r in huge
+                           if r["matrix"]["sparse_speedup"] is not None
+                           and r["matrix"]["auto_picks_sparse"]]
+        payload["huge"] = {
+            "shapes": huge,
+            "min_sparse_speedup": min(sparse_speedups, default=None),
+            "min_patch_speedup": min(r["patch"]["speedup"] for r in huge),
+        }
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {args.out}")
 
-    if args.min_speedup and largest["combined_speedup"] < args.min_speedup:
-        print(f"combined speedup {largest['combined_speedup']:.2f}x below "
-              f"required {args.min_speedup:.2f}x", file=sys.stderr)
-        return 1
-    return 0
+    failures = 0
+    if args.min_speedup:
+        failures += _gate(
+            largest["combined_speedup"] < args.min_speedup,
+            f"combined speedup {largest['combined_speedup']:.2f}x below "
+            f"required {args.min_speedup:.2f}x")
+    if huge and args.min_sparse_speedup:
+        worst = payload["huge"]["min_sparse_speedup"]
+        failures += _gate(
+            worst is None or worst < args.min_sparse_speedup,
+            f"huge-tier sparse speedup {worst} below required "
+            f"{args.min_sparse_speedup:.2f}x")
+    if huge and args.min_patch_speedup:
+        worst = payload["huge"]["min_patch_speedup"]
+        failures += _gate(
+            worst < args.min_patch_speedup,
+            f"huge-tier patch speedup {worst:.2f}x below required "
+            f"{args.min_patch_speedup:.2f}x")
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        if baseline.get("scale") != args.scale:
+            # Tier names mean different sizes per scale, so a cross-scale
+            # speedup comparison would gate on noise; skip loudly instead.
+            print(f"baseline scale {baseline.get('scale')!r} != run scale "
+                  f"{args.scale!r}; skipping the regression gate")
+        else:
+            reference = baseline["largest"]["combined_speedup"]
+            floor = (1.0 - args.max_regression) * reference
+            failures += _gate(
+                largest["combined_speedup"] < floor,
+                f"combined speedup {largest['combined_speedup']:.2f}x "
+                f"regressed >{args.max_regression:.0%} from baseline "
+                f"{reference:.2f}x")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,67 @@
+"""Structural delta recording on the graph containers.
+
+Next to ``structural_version`` (which says *that* a container changed), the
+containers record *what* changed: a flat log of ``("add", id, operands,
+is_source)`` / ``("remove", id)`` entries appended by their mutators.  The
+log is the input of :mod:`repro.kernel.patch`: when ``GraphView.from_*``
+finds a cached view whose version plus the log length equals the current
+version, it can splice the delta into the cached arrays instead of
+rebuilding the whole view.
+
+The log only exists once a view has been cached (``_store_view`` initialises
+it), so containers that never build a view pay nothing; it is capped so a
+long-lived container that mutates forever cannot grow an unbounded log --
+past the cap the log is dropped and the next view falls back to a full
+rebuild.
+
+This module is imported by the container layers (:mod:`repro.ir.graph`,
+:mod:`repro.netlist.netlist`, :mod:`repro.aig.aig`), so it must stay
+dependency-free -- no numpy, no other kernel modules.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: Attribute under which the containers keep their pending delta log.
+DELTA_ATTR = "_repro_kernel_delta"
+
+#: Hard cap on pending entries; past it the log is dropped (full rebuild).
+DELTA_CAP = 65536
+
+
+def record_add(container, node_id: int, operands: Sequence[int],
+               is_source: bool) -> None:
+    """Log a node/gate addition on ``container`` (no-op without a log)."""
+    log = getattr(container, DELTA_ATTR, None)
+    if log is None:
+        return
+    if len(log) >= DELTA_CAP:
+        setattr(container, DELTA_ATTR, None)
+        return
+    log.append(("add", node_id, tuple(operands), is_source))
+
+
+def record_remove(container, node_id: int) -> None:
+    """Log a node/gate removal on ``container`` (no-op without a log)."""
+    log = getattr(container, DELTA_ATTR, None)
+    if log is None:
+        return
+    if len(log) >= DELTA_CAP:
+        setattr(container, DELTA_ATTR, None)
+        return
+    log.append(("remove", node_id))
+
+
+def reset_delta_log(container) -> None:
+    """Start a fresh (empty) log; called whenever a view is cached."""
+    try:
+        setattr(container, DELTA_ATTR, [])
+    except AttributeError:  # __slots__ containers opt out, like the cache
+        pass
+
+
+def delta_log(container) -> list | None:
+    """The pending log, or ``None`` (never initialised / overflowed)."""
+    log = getattr(container, DELTA_ATTR, None)
+    return log if isinstance(log, list) else None

@@ -172,10 +172,17 @@ def reconstruct_path(parents: np.ndarray, source: int, sink: int) -> list[int]:
     return path
 
 
-def reachable_mask(view: GraphView, seeds: Iterable[int], *,
-                   backward: bool = False,
-                   mask: np.ndarray | None = None) -> np.ndarray:
-    """Reachability via frontier sweeps over the CSR index arrays.
+def reachable_indices(view: GraphView, seeds: Iterable[int], *,
+                      backward: bool = False,
+                      mask: np.ndarray | None = None,
+                      scratch: np.ndarray | None = None) -> np.ndarray:
+    """Frontier-compressed reachability over the CSR index arrays.
+
+    The sweep only ever touches the frontier and its neighbours, and the
+    result is the (typically much smaller than ``n``) set of reached dense
+    indices rather than an ``n``-wide mask -- with a caller-provided
+    ``scratch`` buffer, repeated small-cone sweeps cost O(reached) each
+    instead of O(n) for a fresh visited allocation per call.
 
     Args:
         view: the graph view.
@@ -183,16 +190,21 @@ def reachable_mask(view: GraphView, seeds: Iterable[int], *,
             ``mask`` are dropped).
         backward: sweep predecessors (ancestors) instead of successors.
         mask: boolean per dense index restricting the traversal.
+        scratch: optional all-False boolean buffer of length ``num_nodes``
+            reused as the visited set; restored to all-False before
+            returning.
 
     Returns:
-        Boolean array over dense indices: True for every node reachable from
-        the seeds.
+        Ascending dense indices of every node reachable from the seeds.
     """
-    visited = np.zeros(view.num_nodes, dtype=bool)
+    visited = (np.zeros(view.num_nodes, dtype=bool) if scratch is None
+               else scratch)
     frontier = np.asarray(list(seeds), dtype=np.int64)
     if mask is not None and frontier.size:
         frontier = frontier[mask[frontier]]
+    frontier = np.unique(frontier)
     visited[frontier] = True
+    reached = [frontier]
     if backward:
         indptr, indices = view.pred_indptr, view.pred_indices
     else:
@@ -206,7 +218,35 @@ def reachable_mask(view: GraphView, seeds: Iterable[int], *,
         if mask is not None:
             fresh = fresh[mask[fresh]]
         visited[fresh] = True
+        reached.append(fresh)
         frontier = fresh
+    result = np.sort(np.concatenate(reached)) if len(reached) > 1 else reached[0]
+    if scratch is not None:
+        visited[result] = False
+    return result
+
+
+def reachable_mask(view: GraphView, seeds: Iterable[int], *,
+                   backward: bool = False,
+                   mask: np.ndarray | None = None) -> np.ndarray:
+    """Reachability as a boolean mask over dense indices.
+
+    Thin wrapper over :func:`reachable_indices` for callers that feed the
+    result straight into masked sweeps.
+
+    Args:
+        view: the graph view.
+        seeds: dense indices the sweep starts from (inclusive; seeds outside
+            ``mask`` are dropped).
+        backward: sweep predecessors (ancestors) instead of successors.
+        mask: boolean per dense index restricting the traversal.
+
+    Returns:
+        Boolean array over dense indices: True for every node reachable from
+        the seeds.
+    """
+    visited = np.zeros(view.num_nodes, dtype=bool)
+    visited[reachable_indices(view, seeds, backward=backward, mask=mask)] = True
     return visited
 
 

@@ -76,6 +76,12 @@ _CELL_NAME = {
     GateKind.CONST1: "tie1",
 }
 
+#: Dense integer code per gate kind (enum definition order).  Backs the
+#: vectorized per-kind lookup tables (e.g. the STA delay table): a netlist's
+#: gates become one int array of codes, and any per-kind quantity is a single
+#: numpy ``table[codes]`` gather.
+KIND_CODES = {kind: code for code, kind in enumerate(GateKind)}
+
 #: Truth-table evaluators used by constant propagation and simulation.
 #: Each maps a tuple of input bits to the output bit.
 GATE_FUNCTIONS = {

@@ -69,6 +69,10 @@ class StaticTimingAnalysis:
                    else float(self.library.delay(kind.cell_name)))
             for kind in GateKind
         }
+        # The same table as a dense array over KIND_CODES, so run() builds
+        # the per-gate delay vector as one gather instead of a Python loop.
+        self._delay_table = np.asarray(
+            [self._kind_delays[kind] for kind in GateKind], dtype=float)
 
     def gate_delay(self, kind: GateKind) -> float:
         """Propagation delay (ps) of a single gate of kind ``kind``."""
@@ -88,10 +92,12 @@ class StaticTimingAnalysis:
             one critical path realising it.
         """
         view = GraphView.from_netlist(netlist)
-        kind_delays = self._kind_delays
-        delays = np.asarray(
-            [kind_delays[netlist.gate(nid).kind] for nid in view.order_ids()],
-            dtype=float)
+        # Per-gate delays as one table gather: the netlist's cached kind-code
+        # arrays are in ascending id order, searchsorted maps them onto the
+        # view's topological order.
+        gate_ids, kind_codes = netlist.kind_code_arrays()
+        order = np.asarray(view.order_ids(), dtype=np.int64)
+        delays = self._delay_table[kind_codes[np.searchsorted(gate_ids, order)]]
         # Indegree-0 gates are seeded exogenously: primary inputs and tie
         # cells arrive at 0, any other input-less gate contributes its own
         # delay.  Everything else is one level-batched forward sweep.
@@ -100,8 +106,7 @@ class StaticTimingAnalysis:
         init[no_inputs] = np.where(view.source_mask[no_inputs], 0.0,
                                    delays[no_inputs])
         values, parents = forward_propagate(view, delays, init=init, tie="csr")
-        arrival = {nid: float(values[i])
-                   for i, nid in enumerate(view.order_ids())}
+        arrival = dict(zip(view.order_ids(), values.tolist()))
 
         if endpoints is None:
             endpoints = netlist.outputs() or list(arrival)

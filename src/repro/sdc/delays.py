@@ -31,7 +31,9 @@ from repro.kernel import (
     path_delay as _kernel_path_delay,
     reconstruct_path,
 )
-from repro.kernel import critical_path_matrix as _kernel_critical_path_matrix
+from repro.kernel import (
+    auto_critical_path_matrix as _auto_critical_path_matrix,
+)
 
 __all__ = [
     "NOT_CONNECTED",
@@ -64,6 +66,11 @@ def critical_path_matrix(graph: DataflowGraph, delays: Mapping[int, float]
     the diagonal holds individual node delays; unconnected pairs hold
     :data:`NOT_CONNECTED`.
 
+    Routed through the kernel's dense/sparse dispatcher: large, sparsely
+    connected graphs are swept over connected pairs only (see
+    :class:`~repro.kernel.KernelConfig` and the ``REPRO_KERNEL_*``
+    environment switches).  Both paths produce bit-identical matrices.
+
     Args:
         graph: the dataflow graph.
         delays: isolated delay of every node id.
@@ -73,7 +80,8 @@ def critical_path_matrix(graph: DataflowGraph, delays: Mapping[int, float]
         (the kernel's topological position).
     """
     view = GraphView.from_dataflow(graph)
-    matrix = _kernel_critical_path_matrix(view, view.delay_vector(delays))
+    matrix, _sparse = _auto_critical_path_matrix(view,
+                                                 view.delay_vector(delays))
     return matrix, dict(view.index_of)
 
 

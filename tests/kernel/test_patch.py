@@ -1,0 +1,369 @@
+"""Incremental GraphView patching vs from-scratch rebuilds.
+
+A patched view must be indistinguishable from a rebuild, *field by field*:
+same Kahn order, same CSR arrays (operand order and duplicates included),
+same levels and level grouping, same source mask.  These tests drive random
+edit sequences through all three containers (dataflow graph, netlist, AIG),
+exercise both merge strategies of the patcher (the vectorized flat path for
+adds that only consume pre-existing nodes, the chained path for adds that
+consume other adds), and pin down the budget/config gating and the delta-log
+lifecycle around :meth:`GraphView.from_dataflow`.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.aig.aig import Aig
+from repro.designs.generator import GeneratorParams, build_generated_design
+from repro.ir.ops import OpKind
+from repro.kernel import GraphView, kernel_config, set_kernel_config
+from repro.kernel.delta import DELTA_CAP, delta_log, record_add
+from repro.kernel.patch import PatchError, patch_view
+from repro.kernel.view import _CACHE_ATTR
+from repro.netlist.gates import GateKind
+from repro.netlist.netlist import Netlist
+
+_FIELDS = ("order", "pred_indptr", "pred_indices", "succ_indptr",
+           "succ_indices", "levels", "level_order", "level_starts",
+           "source_mask")
+
+
+@pytest.fixture(autouse=True)
+def _restore_kernel_config():
+    saved = kernel_config()
+    yield
+    set_kernel_config(saved)
+
+
+def assert_views_equal(actual: GraphView, expected: GraphView) -> None:
+    assert actual.order_ids() == expected.order_ids()
+    assert actual.index_of == expected.index_of
+    assert actual.num_levels == expected.num_levels
+    for field in _FIELDS:
+        assert np.array_equal(getattr(actual, field),
+                              getattr(expected, field)), field
+
+
+def _rebuild(container, from_view) -> GraphView:
+    """Build the same container's view from scratch (no cache, no patch)."""
+    saved = kernel_config()
+    if hasattr(container, _CACHE_ATTR):
+        delattr(container, _CACHE_ATTR)
+    set_kernel_config(saved, patch_mode="never")
+    try:
+        return from_view(container)
+    finally:
+        set_kernel_config(saved)
+
+
+def _base_graph(seed: int = 2):
+    return build_generated_design(GeneratorParams(seed=seed, depth=5,
+                                                  width=4))
+
+
+class TestDataflowPatching:
+    def _patched_and_rebuilt(self, graph, edit):
+        view = GraphView.from_dataflow(graph)  # cache + start the delta log
+        edit(graph)
+        patched = GraphView.from_dataflow(graph)
+        assert patched is not view  # a structural edit really happened
+        return patched, _rebuild(graph, GraphView.from_dataflow)
+
+    def test_flat_adds_on_old_nodes(self):
+        graph = _base_graph()
+        old_ids = graph.node_ids()
+        rng = random.Random(0)
+
+        def edit(g):
+            for _ in range(12):
+                g.add_node(OpKind.XOR,
+                           (rng.choice(old_ids), rng.choice(old_ids)))
+
+        patched, rebuilt = self._patched_and_rebuilt(graph, edit)
+        assert_views_equal(patched, rebuilt)
+
+    def test_chained_adds_consume_new_nodes(self):
+        graph = _base_graph()
+        rng = random.Random(1)
+
+        def edit(g):
+            fresh = []
+            for _ in range(10):
+                pool = g.node_ids() if not fresh else fresh
+                node = g.add_node(OpKind.ADD, (rng.choice(g.node_ids()),
+                                               rng.choice(pool)))
+                fresh.append(node.node_id)
+
+        patched, rebuilt = self._patched_and_rebuilt(graph, edit)
+        assert_views_equal(patched, rebuilt)
+
+    def test_removals_and_adds_mixed(self):
+        graph = _base_graph()
+
+        def edit(g):
+            sinks = [n.node_id for n in g.nodes()
+                     if not g.users_of(n.node_id) and not n.is_source]
+            for sink in sinks[:3]:
+                g.remove_node(sink)
+            survivors = g.node_ids()
+            g.add_node(OpKind.OR, (survivors[0], survivors[-1]))
+
+        patched, rebuilt = self._patched_and_rebuilt(graph, edit)
+        assert_views_equal(patched, rebuilt)
+
+    def test_duplicate_operands_survive_patching(self):
+        graph = _base_graph()
+        target = graph.node_ids()[-1]
+
+        def edit(g):
+            node = g.add_node(OpKind.ADD, (target, target))  # u + u
+            g.add_node(OpKind.XOR, (node.node_id, node.node_id))
+
+        patched, rebuilt = self._patched_and_rebuilt(graph, edit)
+        assert_views_equal(patched, rebuilt)
+
+    def test_add_then_remove_same_node_cancels_out(self):
+        graph = _base_graph()
+        view = GraphView.from_dataflow(graph)
+        ids = graph.node_ids()
+        node = graph.add_node(OpKind.AND, (ids[0], ids[1]))
+        graph.remove_node(node.node_id)
+        patched = GraphView.from_dataflow(graph)
+        assert patched is not view  # version moved by two
+        assert_views_equal(patched, view)
+
+
+class TestPatchDispatchAndGating:
+    def test_cached_view_is_reused_verbatim(self):
+        graph = _base_graph()
+        view = GraphView.from_dataflow(graph)
+        assert GraphView.from_dataflow(graph) is view
+        graph.set_name(graph.node_ids()[0], "renamed")  # not structural
+        assert GraphView.from_dataflow(graph) is view
+
+    def test_successful_patch_is_cached_and_resets_the_log(self):
+        graph = _base_graph()
+        GraphView.from_dataflow(graph)
+        ids = graph.node_ids()
+        graph.add_node(OpKind.ADD, (ids[0], ids[1]))
+        assert len(delta_log(graph)) == 1
+        patched = GraphView.from_dataflow(graph)
+        assert delta_log(graph) == []  # fresh log, ready for the next edit
+        assert GraphView.from_dataflow(graph) is patched
+
+    def test_patch_mode_never_rebuilds(self, monkeypatch):
+        def boom(*_args, **_kwargs):
+            raise AssertionError("patch_view must not run")
+
+        monkeypatch.setattr("repro.kernel.patch.patch_view", boom)
+        set_kernel_config(kernel_config(), patch_mode="never")
+        graph = _base_graph()
+        GraphView.from_dataflow(graph)
+        ids = graph.node_ids()
+        graph.add_node(OpKind.ADD, (ids[0], ids[1]))
+        rebuilt = GraphView.from_dataflow(graph)
+        assert graph.node_ids()[-1] in rebuilt.index_of
+
+    def test_oversized_delta_rebuilds(self, monkeypatch):
+        def boom(*_args, **_kwargs):
+            raise AssertionError("patch_view must not run")
+
+        monkeypatch.setattr("repro.kernel.patch.patch_view", boom)
+        set_kernel_config(kernel_config(), patch_max_delta=2,
+                          patch_max_delta_fraction=0.0)
+        graph = _base_graph()
+        GraphView.from_dataflow(graph)
+        ids = graph.node_ids()
+        for _ in range(3):  # one past the absolute budget
+            graph.add_node(OpKind.ADD, (ids[0], ids[1]))
+        view = GraphView.from_dataflow(graph)
+        assert view.num_nodes == len(graph)
+
+    def test_overflowed_log_is_dropped(self):
+        graph = _base_graph()
+        GraphView.from_dataflow(graph)
+        log = delta_log(graph)
+        log.extend([("add", -1, (), False)] * DELTA_CAP)  # simulate overflow
+        ids = graph.node_ids()
+        graph.add_node(OpKind.ADD, (ids[0], ids[1]))
+        assert delta_log(graph) is None  # record_add dropped the log
+        view = GraphView.from_dataflow(graph)  # full rebuild, still correct
+        assert view.num_nodes == len(graph)
+
+    def test_patch_error_falls_back_to_rebuild(self):
+        graph = _base_graph()
+        GraphView.from_dataflow(graph)
+        ids = graph.node_ids()
+        graph.add_node(OpKind.ADD, (ids[0], ids[1]))
+        delta_log(graph)[0] = ("frobnicate", 0)  # unsupported entry shape
+        view = GraphView.from_dataflow(graph)
+        assert view.num_nodes == len(graph)
+        assert_views_equal(view, _rebuild(graph, GraphView.from_dataflow))
+
+    def test_copy_does_not_share_the_cache(self):
+        graph = _base_graph()
+        view = GraphView.from_dataflow(graph)
+        clone = graph.copy()
+        assert GraphView.from_dataflow(clone) is not view
+
+
+class TestPatchViewDirect:
+    def test_unknown_delta_entry_raises(self):
+        graph = _base_graph()
+        view = GraphView.from_dataflow(graph)
+        with pytest.raises(PatchError):
+            patch_view(view, [("rename", 3)])
+
+    def test_removing_a_node_with_users_raises(self):
+        graph = _base_graph()
+        view = GraphView.from_dataflow(graph)
+        used = next(nid for nid in graph.node_ids()
+                    if graph.users_of(nid))
+        with pytest.raises(PatchError):
+            patch_view(view, [("remove", used)])
+
+    def test_removing_an_absent_node_raises(self):
+        graph = _base_graph()
+        view = GraphView.from_dataflow(graph)
+        with pytest.raises(PatchError):
+            patch_view(view, [("remove", 10**9)])
+
+    def test_stale_operand_raises(self):
+        graph = _base_graph()
+        view = GraphView.from_dataflow(graph)
+        with pytest.raises(PatchError):
+            patch_view(view, [("add", 10**9, (10**8,), False)])
+
+
+class TestContainerRemovalErrors:
+    def test_dataflow_remove_node(self):
+        graph = _base_graph()
+        with pytest.raises(KeyError):
+            graph.remove_node(10**9)
+        used = next(nid for nid in graph.node_ids() if graph.users_of(nid))
+        with pytest.raises(ValueError, match="still has users"):
+            graph.remove_node(used)
+
+    def test_netlist_remove_gate(self):
+        netlist = Netlist("removals")
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        g = netlist.add_gate(GateKind.AND2, (a, b))
+        out = netlist.add_gate(GateKind.INV, (g,))
+        netlist.mark_output(out)
+        with pytest.raises(KeyError):
+            netlist.remove_gate(10**9)
+        with pytest.raises(ValueError, match="still drives"):
+            netlist.remove_gate(g)
+        with pytest.raises(ValueError, match="primary output"):
+            netlist.remove_gate(out)
+
+
+class TestNetlistAndAigPatching:
+    def _netlist(self):
+        netlist = Netlist("patchable")
+        rng = random.Random(3)
+        pool = [netlist.add_input(f"in{i}") for i in range(4)]
+        for _ in range(20):
+            kind = rng.choice([GateKind.AND2, GateKind.OR2, GateKind.XOR2,
+                               GateKind.NAND2])
+            pool.append(netlist.add_gate(kind, (rng.choice(pool),
+                                                rng.choice(pool))))
+        netlist.mark_output(pool[-1])
+        return netlist
+
+    def test_netlist_gate_adds_patch(self):
+        netlist = self._netlist()
+        GraphView.from_netlist(netlist)
+        rng = random.Random(4)
+        ids = netlist.gate_ids()
+        for _ in range(8):
+            netlist.add_gate(GateKind.XOR2, (rng.choice(ids),
+                                             rng.choice(ids)))
+        patched = GraphView.from_netlist(netlist)
+        assert_views_equal(patched, _rebuild(netlist, GraphView.from_netlist))
+
+    def test_netlist_removal_patches(self):
+        netlist = self._netlist()
+        GraphView.from_netlist(netlist)
+        removable = next(g.gate_id for g in netlist.gates()
+                         if not netlist.fanout(g.gate_id)
+                         and g.gate_id not in netlist.outputs())
+        netlist.remove_gate(removable)
+        patched = GraphView.from_netlist(netlist)
+        assert_views_equal(patched, _rebuild(netlist, GraphView.from_netlist))
+
+    def test_aig_and_adds_patch(self):
+        aig = Aig("patchable")
+        rng = random.Random(5)
+        literals = [aig.add_input(f"in{i}") for i in range(4)]
+        for _ in range(16):
+            literals.append(aig.add_and(rng.choice(literals),
+                                        rng.choice(literals)))
+        GraphView.from_aig(aig)
+        for _ in range(6):
+            # Fresh (non-strashed) ANDs only: reuse does not change structure.
+            literals.append(aig.add_xor(rng.choice(literals),
+                                        rng.choice(literals)))
+        patched = GraphView.from_aig(aig)
+        assert_views_equal(patched, _rebuild(aig, GraphView.from_aig))
+
+
+_EDIT_OPS = (OpKind.ADD, OpKind.SUB, OpKind.XOR, OpKind.AND, OpKind.OR)
+
+
+class TestRandomEditSequences:
+    """The core property: any supported edit sequence patches to the rebuild."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6),
+           num_edits=st.integers(min_value=1, max_value=24),
+           chain=st.booleans())
+    def test_patched_equals_rebuilt(self, seed, num_edits, chain):
+        graph = _base_graph(seed=seed % 7)
+        GraphView.from_dataflow(graph)
+        rng = random.Random(seed)
+        fresh: list[int] = []
+        for _ in range(num_edits):
+            sinks = [n.node_id for n in graph.nodes()
+                     if not graph.users_of(n.node_id) and not n.is_source]
+            roll = rng.random()
+            if roll < 0.25 and sinks:
+                graph.remove_node(rng.choice(sinks))
+            else:
+                pool = graph.node_ids()
+                if chain and fresh and rng.random() < 0.5:
+                    operands = (rng.choice(pool), rng.choice(fresh))
+                else:
+                    operands = (rng.choice(pool), rng.choice(pool))
+                node = graph.add_node(rng.choice(_EDIT_OPS), operands)
+                fresh.append(node.node_id)
+            fresh = [nid for nid in fresh if nid in graph]
+        patched = GraphView.from_dataflow(graph)
+        assert_views_equal(patched, _rebuild(graph, GraphView.from_dataflow))
+
+
+class TestDeltaRecording:
+    def test_log_only_exists_after_a_view_is_cached(self):
+        graph = _base_graph()
+        assert delta_log(graph) is None  # no view yet: mutators pay nothing
+        ids = graph.node_ids()
+        graph.add_node(OpKind.ADD, (ids[0], ids[1]))
+        assert delta_log(graph) is None
+        GraphView.from_dataflow(graph)
+        assert delta_log(graph) == []
+        node = graph.add_node(OpKind.XOR, (ids[0], ids[1]))
+        assert delta_log(graph) == [("add", node.node_id,
+                                     (ids[0], ids[1]), False)]
+
+    def test_record_add_is_a_noop_without_a_log(self):
+        class Bare:
+            pass
+
+        container = Bare()
+        record_add(container, 0, (), True)  # must not raise or create a log
+        assert delta_log(container) is None

@@ -114,3 +114,30 @@ class TestSimulation:
                     assert values[gates[GateKind.ANDN2]] == va & (1 - vb)
                     assert values[gates[GateKind.MUX2]] == (vb if va else vc)
                     assert values[gates[GateKind.MAJ3]] == (1 if va + vb + vc >= 2 else 0)
+
+
+class TestKindCodeArrays:
+    def test_arrays_match_gate_kinds(self):
+        from repro.netlist.gates import KIND_CODES
+
+        netlist = Netlist("codes")
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        netlist.add_gate(GateKind.AND2, (a, b))
+        netlist.add_gate(GateKind.XOR2, (a, b))
+        ids, codes = netlist.kind_code_arrays()
+        assert ids.tolist() == netlist.gate_ids()
+        assert codes.tolist() == [KIND_CODES[netlist.gate(g).kind]
+                                  for g in ids.tolist()]
+
+    def test_cache_follows_structural_edits(self):
+        netlist = Netlist("codes")
+        a = netlist.add_input("a")
+        b = netlist.add_input("b")
+        ids_before, codes_before = netlist.kind_code_arrays()
+        ids_again, codes_again = netlist.kind_code_arrays()
+        assert ids_again is ids_before and codes_again is codes_before
+        gate = netlist.add_gate(GateKind.OR2, (a, b))
+        ids_after, _codes_after = netlist.kind_code_arrays()
+        assert ids_after is not ids_before
+        assert ids_after.tolist() == [a, b, gate]
