@@ -1,0 +1,248 @@
+"""Warm-vs-cold benchmark of the DSE layer, backing ``BENCH_dse.json``.
+
+For every benchmark design one *warm* minimum-clock search runs with a
+fresh :class:`~repro.dse.warm.ProblemCache` (the production path:
+cross-point problem reuse, plateau solution reuse, rank-aware rebasing),
+and the *same probed period sequence* is then re-evaluated cold -- a fresh
+``ProblemCache`` per probe, so every probe pays the full cost a cache-less
+tool would: graph build, delay characterisation, critical-path matrix,
+constraint system, LP assembly, LP solve.  Every cold probe is checked
+byte-identical to its warm counterpart (stages dict, stage count, register
+count), so the benchmark doubles as the parity gate of the ``bench-dse``
+CI job.
+
+Two design groups are reported:
+
+* the **gated** group (rrot, ML-core datapath1, hsv2rgb) drives the
+  aggregate speedup / rebuild-reduction gates -- designs whose feasible
+  plateaus are wide enough that warm starting pays at every scale;
+* the **extended** group (crc32 and a lean ``gen:`` design) is
+  informational: crc32's ceil-bucket boundaries are ~0.02 ps apart near
+  its minimum clock, so nearly every rebase patches bounds and the LP
+  must re-run -- the honest lower bound of the technique.
+
+Timings are best-of-``--repeats`` wall clock.  ``--baseline`` compares the
+aggregate warm-vs-cold speedup against a committed ``BENCH_dse.json`` and
+fails on a >``--max-regression`` drop; ``--min-speedup`` and
+``--min-rebuild-reduction`` gate the absolute figures.
+
+Usage::
+
+    python -m repro.dse.bench --out BENCH_dse.json --min-speedup 2.0 \\
+        --min-rebuild-reduction 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.dse.optimizer import MinClockOptimizer
+from repro.dse.search import drive_optimizer
+from repro.dse.warm import ProbeOutcome, ProblemCache
+from repro.designs.generator import case_from_name
+
+#: Designs the aggregate gates run over.
+GATED_DESIGNS = ("rrot", "ML-core datapath1", "hsv2rgb")
+
+#: Informational designs reported but never gated (narrow plateaus).
+EXTENDED_DESIGNS = (
+    "crc32",
+    "gen:seed=3,depth=8,width=6,fanout=2,bits=16,inputs=4,clock=2500,"
+    "mix=add4+sub2+xor3+and2+or2+rotr1",
+)
+
+#: Search settings shared by the warm run and the cold replay.
+RESOLUTION_PS = 1.0
+SPECULATE = 4
+
+
+def _warm_search(design: str, start_clock_ps: float
+                 ) -> tuple[float, list[ProbeOutcome]]:
+    """One full warm min-clock search; returns (wall seconds, probes)."""
+    cache = ProblemCache()
+    optimizer = MinClockOptimizer(design, start_clock_ps,
+                                  resolution_ps=RESOLUTION_PS)
+    started = time.perf_counter()
+    probes = drive_optimizer(
+        optimizer,
+        lambda batch: [cache.probe(design, period) for period in batch],
+        width=SPECULATE)
+    elapsed = time.perf_counter() - started
+    if not optimizer.converged:
+        raise SystemExit(f"warm min-clock search failed to converge on "
+                         f"{design!r}")
+    return elapsed, probes
+
+
+def _cold_replay(design: str, probes: list[ProbeOutcome]) -> float:
+    """Re-evaluate the warm run's period sequence fully cold.
+
+    A fresh :class:`ProblemCache` per probe means *nothing* is shared
+    between probes -- the honest baseline of a tool without the warm-start
+    layer.  Raises on any parity violation against the warm outcomes.
+    """
+    started = time.perf_counter()
+    for warm in probes:
+        cold = ProblemCache().cold_probe(design, warm.clock_period_ps)
+        if (cold.feasible != warm.feasible
+                or cold.num_stages != warm.num_stages
+                or cold.num_registers != warm.num_registers
+                or cold.stages != warm.stages):
+            raise SystemExit(
+                f"warm probe diverges from cold on {design!r} at "
+                f"{warm.clock_period_ps:.3f} ps")
+    return time.perf_counter() - started
+
+
+def bench_design(design: str, repeats: int) -> dict:
+    """Benchmark one design; raises on divergence or non-convergence."""
+    start_clock_ps = case_from_name(design).clock_period_ps
+    warm_s = float("inf")
+    probes: list[ProbeOutcome] = []
+    for _ in range(repeats):
+        elapsed, probes = _warm_search(design, start_clock_ps)
+        warm_s = min(warm_s, elapsed)
+    cold_s = min(_cold_replay(design, probes) for _ in range(repeats))
+
+    lp_probes = sum(1 for p in probes if p.reason != "budget")
+    warm_rebuilds = sum(1 for p in probes if p.lp_rebuild)
+    reused = sum(1 for p in probes if p.solution_reuse)
+    min_clock = min((p.clock_period_ps for p in probes if p.feasible),
+                    default=None)
+    return {
+        "design": design,
+        "start_clock_ps": start_clock_ps,
+        "min_clock_ps": min_clock,
+        "num_probes": len(probes),
+        "lp_probes": lp_probes,
+        "warm": {
+            "search_s": warm_s,
+            "lp_rebuilds": warm_rebuilds,
+            "patched_solves": sum(1 for p in probes if p.warm_patched),
+            "reused_solutions": reused,
+            "solve_time_s": sum(p.solve_time_s for p in probes),
+        },
+        "cold": {
+            "replay_s": cold_s,
+            # A cache-less tool rebuilds the LP on every non-budget probe.
+            "lp_rebuilds": lp_probes,
+        },
+        "speedup": cold_s / warm_s,
+        "rebuild_reduction": (1.0 - warm_rebuilds / lp_probes
+                              if lp_probes else 0.0),
+    }
+
+
+def _aggregate(records: list[dict]) -> dict:
+    warm_total = sum(r["warm"]["search_s"] for r in records)
+    cold_total = sum(r["cold"]["replay_s"] for r in records)
+    warm_rebuilds = sum(r["warm"]["lp_rebuilds"] for r in records)
+    cold_rebuilds = sum(r["cold"]["lp_rebuilds"] for r in records)
+    return {
+        "designs": [r["design"] for r in records],
+        "warm_s": warm_total,
+        "cold_s": cold_total,
+        "speedup": cold_total / warm_total if warm_total else 0.0,
+        "lp_rebuilds_warm": warm_rebuilds,
+        "lp_rebuilds_cold": cold_rebuilds,
+        "rebuild_reduction": (1.0 - warm_rebuilds / cold_rebuilds
+                              if cold_rebuilds else 0.0),
+    }
+
+
+def _gate(condition: bool, message: str) -> int:
+    if condition:
+        print(message, file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Warm-vs-cold DSE benchmark with built-in parity and "
+                    "regression gates.")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats, best-of (default: 3)")
+    parser.add_argument("--skip-extended", action="store_true",
+                        help="run only the gated design group")
+    parser.add_argument("--out", default="BENCH_dse.json",
+                        help="output JSON path (default: BENCH_dse.json)")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="fail unless the gated aggregate warm-vs-cold "
+                             "speedup reaches this factor")
+    parser.add_argument("--min-rebuild-reduction", type=float, default=0.0,
+                        help="fail unless the gated aggregate LP-rebuild "
+                             "reduction reaches this fraction")
+    parser.add_argument("--baseline", default=None,
+                        help="committed BENCH_dse.json to diff against")
+    parser.add_argument("--max-regression", type=float, default=0.2,
+                        help="tolerated fractional aggregate-speedup drop "
+                             "versus --baseline (default: 0.2)")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+
+    def run_group(names: tuple[str, ...], label: str) -> list[dict]:
+        records = []
+        for design in names:
+            record = bench_design(design, args.repeats)
+            records.append(record)
+            print(f"[{label}] {design[:44]:44s} "
+                  f"{record['num_probes']:3d} probes | "
+                  f"warm {record['warm']['search_s']:6.3f}s "
+                  f"cold {record['cold']['replay_s']:6.3f}s | "
+                  f"{record['speedup']:5.2f}x | "
+                  f"rebuilds {record['warm']['lp_rebuilds']}"
+                  f"/{record['cold']['lp_rebuilds']}")
+        return records
+
+    gated = run_group(GATED_DESIGNS, "gated")
+    extended = [] if args.skip_extended \
+        else run_group(EXTENDED_DESIGNS, "extra")
+
+    aggregate = _aggregate(gated)
+    print(f"gated aggregate: {aggregate['speedup']:.2f}x warm-vs-cold, "
+          f"{aggregate['rebuild_reduction']:.0%} fewer LP rebuilds")
+
+    payload = {
+        "schema": 1,
+        "repeats": args.repeats,
+        "resolution_ps": RESOLUTION_PS,
+        "speculate": SPECULATE,
+        "gated": gated,
+        "extended": extended,
+        "aggregate": aggregate,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    failures = 0
+    if args.min_speedup:
+        failures += _gate(
+            aggregate["speedup"] < args.min_speedup,
+            f"aggregate speedup {aggregate['speedup']:.2f}x below required "
+            f"{args.min_speedup:.2f}x")
+    if args.min_rebuild_reduction:
+        failures += _gate(
+            aggregate["rebuild_reduction"] < args.min_rebuild_reduction,
+            f"rebuild reduction {aggregate['rebuild_reduction']:.0%} below "
+            f"required {args.min_rebuild_reduction:.0%}")
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        reference = baseline["aggregate"]["speedup"]
+        floor = (1.0 - args.max_regression) * reference
+        failures += _gate(
+            aggregate["speedup"] < floor,
+            f"aggregate speedup {aggregate['speedup']:.2f}x regressed "
+            f">{args.max_regression:.0%} from baseline {reference:.2f}x")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,285 @@
+"""The DSE driver: batched parallel probe evaluation over per-worker caches.
+
+One :func:`run_dse` call searches a list of designs with one strategy.
+Per design the driver loops ``next_batch`` -> evaluate -> ``process_outcome``
+until the optimizer converges; batches are fanned out over a persistent
+process pool (:class:`~repro.parallel.PersistentPool`), and every worker
+process keeps its own module-global :class:`~repro.dse.warm.ProblemCache`
+so warm-start state accumulates worker-locally across batches and designs.
+Because warm-started probes are byte-identical to cold ones, the schedule
+results never depend on which worker (or which donor problem) served a
+probe -- only the provenance counters do.
+
+Batch *width* is decoupled from worker count by ``speculate``: the
+optimizer always proposes ``speculate`` periods per batch (default: the
+job count), so ``--jobs 1`` and ``--jobs 8`` with the same ``--speculate``
+probe the same period sequence and produce the same deterministic payload
+(:func:`deterministic_payload` strips the provenance/timing fields that
+legitimately differ).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.dse.optimizer import (
+    MinClockOptimizer,
+    Optimizer,
+    ParetoOptimizer,
+    ParetoPoint,
+)
+from repro.dse.warm import ProbeOutcome, ProblemCache
+from repro.parallel import PersistentPool
+
+MODES = ("minclock", "pareto")
+
+#: Per-process cache, keyed by latency weight (the one config knob that
+#: changes solve results).  Worker processes are forked lazily on first
+#: use, so each inherits whatever the parent had and then diverges.
+_CACHES: dict[float, ProblemCache] = {}
+
+
+def worker_cache(latency_weight: float = 1e-3) -> ProblemCache:
+    """This process's :class:`ProblemCache` for a latency weight."""
+    cache = _CACHES.get(latency_weight)
+    if cache is None:
+        cache = ProblemCache(latency_weight=latency_weight)
+        _CACHES[latency_weight] = cache
+    return cache
+
+
+def reset_worker_caches() -> None:
+    """Drop this process's caches (test isolation helper)."""
+    _CACHES.clear()
+
+
+def evaluate_probe(item: tuple[str, float, float]) -> ProbeOutcome:
+    """Pool entry point: evaluate one ``(design, period, latency_weight)``."""
+    design, clock_period_ps, latency_weight = item
+    return worker_cache(latency_weight).probe(design, clock_period_ps)
+
+
+@dataclass
+class DesignSearchResult:
+    """Everything one design's search produced.
+
+    ``min_clock_ps``, ``converged``, the probe schedule fields and
+    ``front`` are deterministic; ``stats`` (warm-start provenance) and
+    ``elapsed_s`` depend on worker layout and wall clock.
+    """
+
+    design: str
+    mode: str
+    start_clock_ps: float
+    min_clock_ps: float | None
+    converged: bool
+    probes: list[ProbeOutcome]
+    front: list[ParetoPoint] = field(default_factory=list)
+    stats: dict[str, float] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    def to_payload(self) -> dict:
+        """JSON payload row; see :func:`deterministic_payload` for the core."""
+        return {
+            "design": self.design,
+            "mode": self.mode,
+            "start_clock_ps": self.start_clock_ps,
+            "min_clock_ps": self.min_clock_ps,
+            "converged": self.converged,
+            "num_probes": len(self.probes),
+            "probes": [outcome.to_payload()
+                       for outcome in sorted(
+                           self.probes,
+                           key=lambda o: o.clock_period_ps)],
+            "front": [{"clock_period_ps": point.clock_period_ps,
+                       "num_stages": point.num_stages,
+                       "num_registers": point.num_registers}
+                      for point in self.front],
+            "warm": dict(self.stats),
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+@dataclass
+class DseResult:
+    """The result of one :func:`run_dse` call."""
+
+    mode: str
+    resolution_ps: float
+    max_stages: int | None
+    jobs: int
+    speculate: int
+    designs: list[DesignSearchResult]
+    elapsed_s: float = 0.0
+
+    def to_payload(self) -> dict:
+        """The ``dse`` experiment payload body (serialize schema >= 5)."""
+        return {
+            "mode": self.mode,
+            "resolution_ps": self.resolution_ps,
+            "max_stages": self.max_stages,
+            "speculate": self.speculate,
+            "designs": [result.to_payload() for result in self.designs],
+        }
+
+
+#: Per-design payload keys that legitimately vary with worker layout or
+#: wall clock; everything else must be byte-identical across ``jobs``.
+NONDETERMINISTIC_KEYS = ("warm", "elapsed_s")
+
+
+def deterministic_payload(payload: dict) -> dict:
+    """The payload with the provenance/timing fields stripped.
+
+    Two :func:`run_dse` calls with the same designs, mode and ``speculate``
+    produce equal deterministic payloads regardless of ``jobs`` (warm-start
+    byte parity makes probe results worker-independent; only the
+    provenance counters and wall-clock fields differ).
+    """
+    stripped = dict(payload)
+    stripped["designs"] = [
+        {key: value for key, value in design.items()
+         if key not in NONDETERMINISTIC_KEYS}
+        for design in payload.get("designs", ())]
+    return stripped
+
+
+def _design_stats(probes: list[ProbeOutcome]) -> dict[str, float]:
+    """Aggregate warm-start provenance counters over one design's probes."""
+    memo_hits = sum(1 for o in probes if o.memo_hit)
+    warm_solves = sum(1 for o in probes if o.warm_patched)
+    reused = sum(1 for o in probes if o.solution_reuse)
+    lp_rebuilds = sum(1 for o in probes if o.lp_rebuild)
+    budget_skips = sum(1 for o in probes
+                       if not o.feasible and o.reason == "budget"
+                       and not o.memo_hit)
+    served = memo_hits + warm_solves + lp_rebuilds
+    return {
+        "memo_hits": memo_hits,
+        "warm_solves": warm_solves,
+        "reused_solutions": reused,
+        "lp_rebuilds": lp_rebuilds,
+        "budget_skips": budget_skips,
+        "bound_patches": sum(o.bound_patches for o in probes),
+        "warm_hit_rate": (memo_hits + warm_solves) / served if served else 0.0,
+        "solve_time_s": sum(o.solve_time_s for o in probes),
+    }
+
+
+def make_optimizer(mode: str, design: str, start_clock_ps: float,
+                   resolution_ps: float = 25.0, max_stages: int | None = None,
+                   bracket_factor: float = 2.0, max_probes: int = 96,
+                   points: int = 8, span: tuple[float, float] = (0.5, 2.0),
+                   refine_rounds: int = 1) -> Optimizer:
+    """Construct the optimizer for one design by mode name.
+
+    Raises:
+        ValueError: for an unknown mode.
+    """
+    if mode == "minclock":
+        return MinClockOptimizer(design, start_clock_ps,
+                                 resolution_ps=resolution_ps,
+                                 bracket_factor=bracket_factor,
+                                 max_probes=max_probes,
+                                 max_stages=max_stages)
+    if mode == "pareto":
+        return ParetoOptimizer(design, start_clock_ps, points=points,
+                               span=span, refine_rounds=refine_rounds)
+    raise ValueError(f"unknown DSE mode {mode!r}; expected one of "
+                     + ", ".join(MODES))
+
+
+def drive_optimizer(optimizer: Optimizer, evaluate, width: int
+                    ) -> list[ProbeOutcome]:
+    """Run one optimizer to convergence over an ``evaluate(batch)`` callable.
+
+    ``evaluate`` receives a list of clock periods and returns the matching
+    :class:`ProbeOutcome` list (in order).  Returns every probe outcome in
+    evaluation order.
+    """
+    probes: list[ProbeOutcome] = []
+    while not optimizer.done:
+        batch = optimizer.next_batch(width)
+        if not batch:
+            break
+        for period, outcome in zip(batch, evaluate(batch)):
+            optimizer.process_outcome(period, outcome)
+            probes.append(outcome)
+    return probes
+
+
+def run_dse(designs: list[str], mode: str = "minclock", jobs: int = 1,
+            speculate: int | None = None, resolution_ps: float = 25.0,
+            max_stages: int | None = None, bracket_factor: float = 2.0,
+            max_probes: int = 96, points: int = 8,
+            span: tuple[float, float] = (0.5, 2.0), refine_rounds: int = 1,
+            latency_weight: float = 1e-3, verbose: bool = False) -> DseResult:
+    """Search every design and return the combined :class:`DseResult`.
+
+    Args:
+        designs: registry or ``gen:`` design names.
+        mode: ``"minclock"`` or ``"pareto"``.
+        jobs: worker processes evaluating one batch in parallel.
+        speculate: batch width (periods proposed per round); defaults to
+            ``jobs``.  Fixing it decouples the probed period sequence from
+            the worker count.
+        resolution_ps: min-clock convergence threshold (bracket width).
+        max_stages: optional pipeline-depth cap sharpening feasibility.
+        bracket_factor: geometric ladder factor of the bracketing phase.
+        max_probes: per-design probe budget (min-clock mode).
+        points: grid size of the Pareto sweep.
+        span: Pareto grid as multiples of the start period.
+        refine_rounds: Pareto front-refinement rounds.
+        latency_weight: LP tie-breaking weight (threaded to every probe).
+        verbose: print one summary line per design as it finishes.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown DSE mode {mode!r}; expected one of "
+                         + ", ".join(MODES))
+    # Resolve every design name before doing any work, so a typo in the
+    # last design does not waste the whole search.
+    from repro.designs.generator import case_from_name
+    cases = [(name, case_from_name(name)) for name in designs]
+
+    jobs = max(1, int(jobs))
+    width = max(1, int(speculate) if speculate is not None else jobs)
+    started = time.perf_counter()
+    results: list[DesignSearchResult] = []
+    with PersistentPool(jobs) as pool:
+        for name, case in cases:
+            optimizer = make_optimizer(
+                mode, name, case.clock_period_ps,
+                resolution_ps=resolution_ps, max_stages=max_stages,
+                bracket_factor=bracket_factor, max_probes=max_probes,
+                points=points, span=span, refine_rounds=refine_rounds)
+
+            def evaluate(batch: list[float]) -> list[ProbeOutcome]:
+                return pool.map(evaluate_probe,
+                                [(name, period, latency_weight)
+                                 for period in batch])
+
+            design_started = time.perf_counter()
+            probes = drive_optimizer(optimizer, evaluate, width)
+            best = optimizer.best
+            front = optimizer.front() if hasattr(optimizer, "front") else []
+            result = DesignSearchResult(
+                design=name, mode=mode,
+                start_clock_ps=case.clock_period_ps,
+                min_clock_ps=best.clock_period_ps if best else None,
+                converged=optimizer.converged,
+                probes=probes, front=list(front),
+                stats=_design_stats(probes),
+                elapsed_s=time.perf_counter() - design_started)
+            results.append(result)
+            if verbose:
+                minimum = (f"{result.min_clock_ps:.1f} ps"
+                           if result.min_clock_ps is not None else "n/a")
+                print(f"[dse] {name}: min clock {minimum} after "
+                      f"{len(probes)} probes "
+                      f"(warm hit rate {result.stats['warm_hit_rate']:.0%}, "
+                      f"{result.elapsed_s:.2f}s)")
+    return DseResult(mode=mode, resolution_ps=float(resolution_ps),
+                     max_stages=max_stages, jobs=jobs, speculate=width,
+                     designs=results,
+                     elapsed_s=time.perf_counter() - started)

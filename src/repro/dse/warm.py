@@ -1,0 +1,375 @@
+"""The DSE warm-start engine: cross-clock-point ``ScheduleProblem`` reuse.
+
+A clock-period search probes the *same* design at many periods.  Everything
+expensive about one probe except the LP solve itself -- building the graph,
+characterising per-node delays, the all-pairs critical-path matrix, the
+register weights and users map, the constraint system, the assembled LP --
+depends only on the design, or changes between periods in a tightly
+structured way.  The :class:`ProblemCache` exploits both levels:
+
+* a :class:`DesignContext` is built once per design and shared by every
+  probe (graph, delays, matrix, structural fingerprint);
+* the solved :class:`~repro.sdc.problem.ScheduleProblem` of each feasible
+  probe is retained, and a new probe warm-starts by cloning the problem of
+  the *nearest* previously-solved period and rebasing it to the new budget
+  (:meth:`~repro.sdc.problem.ScheduleProblem.rebase_timing` -- only bounds
+  whose ``ceil(delay / budget)`` bucket changed are patched, falling back
+  to a full constraint rebuild when the constrained-pair set moved);
+* repeated probes of a structurally identical design at the same period
+  are memoized on the design's subgraph fingerprint and cost nothing.
+
+Warm-started probes are byte-identical to cold ones: the rebased LP arrays
+equal a from-scratch build's (see :meth:`ScheduleProblem.rebase_timing`)
+and both paths run the one shared :func:`~repro.sdc.solver.solve_problem`.
+The parity suite under ``tests/dse/`` enforces this on every probe.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+import numpy as np
+
+from repro.designs.generator import case_from_name
+from repro.ir.graph import DataflowGraph
+from repro.sdc.delays import NOT_CONNECTED, critical_path_matrix, node_delays
+from repro.sdc.pipeline import count_pipeline_registers
+from repro.sdc.problem import ScheduleProblem
+from repro.sdc.scheduler import Schedule
+from repro.sdc.solver import SdcInfeasibleError, solve_problem
+from repro.synth.fingerprint import subgraph_fingerprint
+from repro.tech.delay_model import OperatorModel
+from repro.tech.sky130 import sky130_library
+
+
+@dataclass(frozen=True)
+class DesignContext:
+    """Everything probe evaluation needs about one design, built once.
+
+    Attributes:
+        name: registry (or ``gen:``) design name.
+        graph: the built dataflow graph.
+        delays: isolated per-node delays (closed-form operator model).
+        matrix: all-pairs critical-path delay matrix; *identical across
+            clock periods*, which is what makes rebasing sound.
+        index_of: node id -> matrix row/column.
+        worst_delay_ps: largest single-operation delay; any budget below it
+            is infeasible without touching the LP.
+        register_overhead_ps: sequential overhead subtracted from the clock
+            period to obtain the combinational stage budget.
+        default_clock_ps: the design's registry clock period (search start).
+        fingerprint: structural fingerprint of the whole graph -- the
+            memoization key component that makes probe results reusable
+            across structurally identical builds.
+        sorted_offdiag: every off-diagonal delay-matrix entry, sorted --
+            the lookup table behind :meth:`pair_rank`.
+    """
+
+    name: str
+    graph: DataflowGraph
+    delays: dict[int, float] = field(repr=False)
+    matrix: np.ndarray = field(repr=False)
+    index_of: dict[int, int] = field(repr=False)
+    worst_delay_ps: float
+    register_overhead_ps: float
+    default_clock_ps: float
+    fingerprint: str
+    sorted_offdiag: np.ndarray = field(repr=False)
+
+    @property
+    def lower_bound_ps(self) -> float:
+        """Analytic minimum feasible clock period (worst delay + overhead)."""
+        return self.worst_delay_ps + self.register_overhead_ps
+
+    def pair_rank(self, budget_ps: float) -> int:
+        """How many off-diagonal pairs carry a timing constraint at a budget.
+
+        The constrained-pair set ``matrix > budget`` is *nested* in the
+        budget (shrinking the budget only adds pairs), so two budgets have
+        the same pair set exactly when they have the same rank.  A donor
+        problem with the target's rank can always be rebased by bound
+        patching alone; one with a different rank never can.
+        """
+        position = int(np.searchsorted(self.sorted_offdiag, budget_ps,
+                                       side="right"))
+        return len(self.sorted_offdiag) - position
+
+
+def build_context(name: str) -> DesignContext:
+    """Build the per-design probe context (graph, delays, matrix, fingerprint)."""
+    case = case_from_name(name)
+    graph = case.build()
+    delays = node_delays(graph, OperatorModel())
+    matrix, index_of = critical_path_matrix(graph, delays)
+    fingerprint = subgraph_fingerprint(
+        graph, [node.node_id for node in graph.nodes()])
+    offdiag = np.asarray(matrix, dtype=float).copy()
+    np.fill_diagonal(offdiag, NOT_CONNECTED)
+    return DesignContext(
+        name=name, graph=graph, delays=delays, matrix=matrix,
+        index_of=index_of,
+        worst_delay_ps=max(delays.values(), default=0.0),
+        register_overhead_ps=sky130_library().register_delay_ps,
+        default_clock_ps=case.clock_period_ps,
+        fingerprint=fingerprint,
+        sorted_offdiag=np.sort(offdiag.ravel()))
+
+
+@dataclass(frozen=True)
+class ProbeOutcome:
+    """The result of scheduling one design at one clock period.
+
+    The schedule-describing fields (``feasible``, ``num_stages``,
+    ``num_registers``, ``stages``) are deterministic: warm and cold probes
+    are byte-identical, so they do not depend on which cache served the
+    probe.  The provenance fields (``warm_patched``, ``lp_rebuild``,
+    ``memo_hit``, ``bound_patches``, ``solve_time_s``) describe how *this*
+    evaluation was served and vary with worker/cache layout.
+
+    Attributes:
+        design: design name.
+        clock_period_ps: probed clock period.
+        feasible: whether a schedule exists at this period.
+        reason: why not, when infeasible -- ``"budget"`` (the combinational
+            budget is non-positive or below the worst single-op delay; no
+            LP was touched) or ``"lp"`` (the LP itself was infeasible).
+        num_stages: pipeline depth of the schedule (feasible probes only).
+        num_registers: pipeline register bits (feasible probes only).
+        stages: the full node id -> stage schedule (feasible probes only).
+        warm_patched: served by rebasing a cloned donor problem in place.
+        solution_reuse: the rebase patched *zero* bounds -- the LP is
+            byte-identical to the donor's solved state, so the donor's
+            schedule was reused without an LP call (HiGHS is deterministic,
+            so a cold solve would return exactly the same schedule).
+        lp_rebuild: a full constraint/LP build was performed (cold probe,
+            or a rebase whose pair set moved).
+        memo_hit: served from the fingerprint memo without any solve.
+        bound_patches: timing bounds patched during the rebase.
+        solve_time_s: wall-clock seconds of this evaluation (0 for memo
+            hits and budget rejections).
+    """
+
+    design: str
+    clock_period_ps: float
+    feasible: bool
+    reason: str = ""
+    num_stages: int | None = None
+    num_registers: int | None = None
+    stages: dict[int, int] | None = field(default=None, repr=False)
+    warm_patched: bool = False
+    solution_reuse: bool = False
+    lp_rebuild: bool = False
+    memo_hit: bool = False
+    bound_patches: int = 0
+    solve_time_s: float = 0.0
+
+    def to_payload(self) -> dict:
+        """Deterministic payload row (provenance and timing excluded)."""
+        return {
+            "clock_period_ps": self.clock_period_ps,
+            "feasible": self.feasible,
+            "reason": self.reason,
+            "num_stages": self.num_stages,
+            "num_registers": self.num_registers,
+        }
+
+
+class ProblemCache:
+    """Per-process warm-start state of a clock-period search.
+
+    One cache holds, per design: the :class:`DesignContext`, every solved
+    :class:`~repro.sdc.problem.ScheduleProblem` keyed by clock period, and
+    a fingerprint-keyed memo of probe outcomes.  :meth:`probe` is the
+    single evaluation entry point; the search driver keeps one cache per
+    worker process so parallel batches warm-start independently (results
+    are identical either way -- see the module docstring).
+
+    Attributes:
+        latency_weight: LP tie-breaking weight, part of the memo key.
+        memo_hits: probes served from the fingerprint memo.
+        warm_solves: probes served by clone + in-place rebase (including
+            zero-patch rebases that reused the donor's solution outright).
+        reused_solutions: the zero-patch subset of ``warm_solves`` -- no
+            LP call at all.
+        cold_solves: probes that built (or rebuilt) the full constraint
+            system and LP.
+        budget_skips: probes rejected analytically without any LP.
+    """
+
+    def __init__(self, latency_weight: float = 1e-3) -> None:
+        self.latency_weight = float(latency_weight)
+        self.memo_hits = 0
+        self.warm_solves = 0
+        self.reused_solutions = 0
+        self.cold_solves = 0
+        self.budget_skips = 0
+        self._contexts: dict[str, DesignContext] = {}
+        self._solved: dict[str, dict[float, tuple[ScheduleProblem,
+                                                  dict[int, int], int]]] = {}
+        self._memo: dict[tuple, ProbeOutcome] = {}
+
+    def context(self, design: str) -> DesignContext:
+        """The design's probe context (built on first use, then cached)."""
+        context = self._contexts.get(design)
+        if context is None:
+            context = build_context(design)
+            self._contexts[design] = context
+        return context
+
+    def _nearest_solved(self, design: str, clock_period_ps: float,
+                        pair_rank: int | None = None
+                        ) -> tuple[ScheduleProblem, dict[int, int], int] | None:
+        """Solved (problem, schedule, rank) of the best donor period.
+
+        Donors sharing the target's pair rank are preferred (their rebase
+        is guaranteed to succeed as a pure bound patch); among candidates
+        the nearest period wins, smaller period breaking ties.
+        """
+        solved = self._solved.get(design)
+        if not solved:
+            return None
+        candidates = solved
+        if pair_rank is not None:
+            same_rank = {period: entry for period, entry in solved.items()
+                         if entry[2] == pair_rank}
+            if same_rank:
+                candidates = same_rank
+        donor_period = min(candidates,
+                           key=lambda p: (abs(p - clock_period_ps), p))
+        return candidates[donor_period]
+
+    def probe(self, design: str, clock_period_ps: float) -> ProbeOutcome:
+        """Schedule ``design`` at ``clock_period_ps``, as warmly as possible.
+
+        The fast paths, in order: fingerprint memo (free), analytic budget
+        rejection (free), clone-and-rebase from the nearest solved period
+        (bound patches only), full cold build.  All solving paths go
+        through the shared :func:`~repro.sdc.solver.solve_problem`, so the
+        returned schedule never depends on which path served the probe.
+        """
+        context = self.context(design)
+        period = float(clock_period_ps)
+        key = (context.fingerprint, context.register_overhead_ps,
+               self.latency_weight, period)
+        hit = self._memo.get(key)
+        if hit is not None:
+            self.memo_hits += 1
+            return replace(hit, memo_hit=True, warm_patched=False,
+                           solution_reuse=False, lp_rebuild=False,
+                           bound_patches=0, solve_time_s=0.0)
+
+        budget = period - context.register_overhead_ps
+        if budget <= 0.0 or context.worst_delay_ps > budget:
+            self.budget_skips += 1
+            outcome = ProbeOutcome(design=design, clock_period_ps=period,
+                                   feasible=False, reason="budget")
+            self._memo[key] = outcome
+            return outcome
+
+        start = time.perf_counter()
+        rank = context.pair_rank(budget)
+        donor = self._nearest_solved(design, period, pair_rank=rank)
+        reused = False
+        stages: dict[int, int] | None = None
+        if donor is None:
+            problem = ScheduleProblem(context.graph, context.matrix,
+                                      context.index_of, budget,
+                                      latency_weight=self.latency_weight)
+            warm_patched = False
+            patches = 0
+            self.cold_solves += 1
+        else:
+            donor_problem, donor_stages, donor_rank = donor
+            problem = donor_problem.clone()
+            if donor_rank == rank:
+                patches_before = problem.bound_patches
+                warm_patched = problem.retarget(context.matrix,
+                                                context.index_of, budget)
+                patches = problem.bound_patches - patches_before
+            else:
+                # The pair sets provably differ (nested sets of different
+                # cardinality): skip the doomed rebase attempt and rebuild
+                # the cloned system directly, still reusing the donor's
+                # register weights and users map.
+                problem.timing_budget_ps = budget
+                problem.rebuild(context.matrix, context.index_of)
+                warm_patched = False
+                patches = 0
+            if warm_patched:
+                self.warm_solves += 1
+                if patches == 0:
+                    # The rebase touched nothing: the clone's LP is
+                    # byte-identical to the donor's solved state, and
+                    # HiGHS is deterministic, so a fresh solve would
+                    # return exactly the donor's schedule.
+                    reused = True
+                    stages = dict(donor_stages)
+                    self.reused_solutions += 1
+            else:
+                self.cold_solves += 1
+
+        if stages is None:
+            try:
+                stages = solve_problem(problem)
+            except SdcInfeasibleError:
+                outcome = ProbeOutcome(
+                    design=design, clock_period_ps=period, feasible=False,
+                    reason="lp", warm_patched=warm_patched,
+                    lp_rebuild=not warm_patched, bound_patches=patches,
+                    solve_time_s=time.perf_counter() - start)
+                self._memo[key] = outcome
+                return outcome
+
+        schedule = Schedule(graph=context.graph, clock_period_ps=period,
+                            stages=stages)
+        registers, _ = count_pipeline_registers(schedule)
+        outcome = ProbeOutcome(
+            design=design, clock_period_ps=period, feasible=True,
+            num_stages=schedule.num_stages, num_registers=registers,
+            stages=dict(stages), warm_patched=warm_patched,
+            solution_reuse=reused, lp_rebuild=not warm_patched,
+            bound_patches=patches,
+            solve_time_s=time.perf_counter() - start)
+        self._solved.setdefault(design, {})[period] = (problem, dict(stages),
+                                                       rank)
+        self._memo[key] = outcome
+        return outcome
+
+    def cold_probe(self, design: str, clock_period_ps: float,
+                   matrix: np.ndarray | None = None,
+                   index_of: Mapping[int, int] | None = None) -> ProbeOutcome:
+        """A from-scratch reference probe bypassing every warm path.
+
+        Used by the parity tests and the warm-vs-cold benchmark: builds a
+        fresh :class:`~repro.sdc.problem.ScheduleProblem` (full constraint
+        system, fresh LP) and solves it through the same
+        :func:`~repro.sdc.solver.solve_problem`.  Nothing is cached.
+        """
+        context = self.context(design)
+        period = float(clock_period_ps)
+        budget = period - context.register_overhead_ps
+        if budget <= 0.0 or context.worst_delay_ps > budget:
+            return ProbeOutcome(design=design, clock_period_ps=period,
+                                feasible=False, reason="budget")
+        start = time.perf_counter()
+        problem = ScheduleProblem(
+            context.graph,
+            context.matrix if matrix is None else matrix,
+            context.index_of if index_of is None else index_of,
+            budget, latency_weight=self.latency_weight)
+        try:
+            stages = solve_problem(problem)
+        except SdcInfeasibleError:
+            return ProbeOutcome(design=design, clock_period_ps=period,
+                                feasible=False, reason="lp", lp_rebuild=True,
+                                solve_time_s=time.perf_counter() - start)
+        schedule = Schedule(graph=context.graph, clock_period_ps=period,
+                            stages=stages)
+        registers, _ = count_pipeline_registers(schedule)
+        return ProbeOutcome(
+            design=design, clock_period_ps=period, feasible=True,
+            num_stages=schedule.num_stages, num_registers=registers,
+            stages=dict(stages), lp_rebuild=True,
+            solve_time_s=time.perf_counter() - start)

@@ -18,6 +18,9 @@ Usage::
         [--group-by AXES] [--metric M] [--format F] [--json PATH]
     python -m repro.experiments.runner report diff OLD NEW \
         [--metric M] [--threshold T] [--format F]
+    python -m repro.experiments.runner dse (--designs NAMES | --quick) \
+        [--mode minclock|pareto] [--jobs N] [--speculate K] \
+        [--resolution-ps PS] [--max-stages N] [--json PATH]
 
 Each sub-command regenerates one artefact of the paper's evaluation and
 prints its ASCII rendition; ``--quick`` reduces iteration counts and design
@@ -46,6 +49,11 @@ stores / ``--json`` payloads along campaign axes (``--group-by``) with
 geomean/mean/p50/p95 reducers, and ``report diff`` joins two of them on
 content-addressed job ids, exiting non-zero past ``--threshold`` so CI
 can gate on regressions.  See :mod:`repro.report.cli` and ``docs/cli.md``.
+
+``dse`` searches clock-period design space per design -- the minimum
+feasible clock (``--mode minclock``) or the latency / register-count
+Pareto front (``--mode pareto``) -- with warm-started probe evaluation
+batched over ``--jobs`` workers.  See :mod:`repro.dse.cli`.
 
 Example::
 
@@ -179,10 +187,17 @@ def main(argv: list[str] | None = None) -> int:
         from repro.report.cli import report_main
 
         return report_main(argv[1:])
+    if argv and argv[0] == "dse":
+        # Likewise the DSE subcommand: its flag set (mode, speculation,
+        # convergence thresholds) is disjoint from the experiment flags.
+        from repro.dse.cli import dse_main
+
+        return dse_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner",
-        description="Regenerate one table/figure of the ISDC paper, or "
-                    "analyse sweep results (see: runner report --help).")
+        description="Regenerate one table/figure of the ISDC paper, "
+                    "analyse sweep results (see: runner report --help), or "
+                    "search clock-period design space (runner dse --help).")
     parser.add_argument("experiment", choices=list(EXPERIMENTS))
     parser.add_argument("--quick", action="store_true",
                         help="reduced settings (seconds instead of minutes)")

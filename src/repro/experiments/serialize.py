@@ -5,7 +5,7 @@ can be archived, diffed and consumed by the benchmark suite (``--json PATH``
 on :mod:`repro.experiments.runner`).  The payload envelope is::
 
     {
-      "schema": 3,
+      "schema": 5,
       "experiment": "<name>",
       "quick": bool,
       "jobs": int,
@@ -28,7 +28,10 @@ the ``table1`` per-row ``isdc_evaluations`` column (true synthesis runs,
 disk-cache answers excluded); 4 added the ``report`` payload (the
 aggregate-summary and baseline-diff bodies of :mod:`repro.report`, whose
 ``data.kind`` field -- ``"summary"`` or ``"diff"`` -- discriminates the
-two shapes).
+two shapes); 5 added the ``dse`` payload (per-design clock-period search
+results from :mod:`repro.dse`, whose ``warm`` / ``elapsed_s`` fields are
+the only run-dependent values -- see
+:func:`repro.dse.search.deterministic_payload`).
 """
 
 from __future__ import annotations
@@ -43,7 +46,7 @@ from repro.experiments.fig7 import EstimationAccuracyResult
 from repro.experiments.fig8 import AigCorrelationResult
 from repro.experiments.table1 import TableOneResult
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 
 def _table1_payload(result: TableOneResult) -> dict[str, Any]:
@@ -101,8 +104,16 @@ def _report_payload(result: Any) -> dict[str, Any]:
     return result.to_payload()
 
 
+def _dse_payload(result: Any) -> dict[str, Any]:
+    # A repro.dse.search.DseResult serialises itself; min_clock_ps, the
+    # probe schedule fields and the Pareto front are deterministic, the
+    # per-design "warm"/"elapsed_s" fields are provenance/wall clock.
+    return result.to_payload()
+
+
 _PAYLOAD_BUILDERS = {
     "campaign": _campaign_payload,
+    "dse": _dse_payload,
     "report": _report_payload,
     "table1": _table1_payload,
     "fig1": _profile_payload,
@@ -120,7 +131,7 @@ def experiment_payload(name: str, result: Any, quick: bool = False,
 
     Args:
         name: experiment name (``table1``, ``fig1``/``5``/``6``/``7``/``8``,
-            ``campaign`` or ``report``).
+            ``campaign``, ``report`` or ``dse``).
         result: the raw object the experiment's ``run_*`` function returned.
         quick: whether reduced settings were used.
         jobs: worker processes the run was configured with.

@@ -18,7 +18,7 @@ Two modes share one entry point (:func:`report_main`):
       python -m repro.experiments.runner report diff \\
           runs/main.jsonl runs/branch.jsonl --threshold 0.05
 
-``--json PATH`` additionally writes the schema-4 machine-readable payload
+``--json PATH`` additionally writes the schema-5 machine-readable payload
 (:mod:`repro.experiments.serialize`), whatever ``--format`` is printed.
 """
 
@@ -78,7 +78,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--out", metavar="PATH",
                         help="also write the rendered report to PATH")
     parser.add_argument("--json", dest="json_path", metavar="PATH",
-                        help="also write the schema-4 machine-readable "
+                        help="also write the schema-5 machine-readable "
                              "payload to PATH")
     return parser
 

@@ -4,7 +4,7 @@ Every analysis in :mod:`repro.report` operates on one in-memory shape, the
 :class:`ReportFrame`: a flat list of :class:`ReportRow`, one per (design x
 configuration) run, regardless of whether the run came from a campaign
 :class:`~repro.campaign.store.RunStore` JSONL file or from an experiment
-``--json`` payload (envelope schemas 1-4).  A row carries
+``--json`` payload (envelope schemas 1-5).  A row carries
 
 * a content-addressed ``job_id`` (the campaign job id, or a synthesised
   digest for table1 rows) that baseline diffs join on,
@@ -16,7 +16,7 @@ configuration) run, regardless of whether the run came from a campaign
   source records them).
 
 Loading is schema-tolerant: fields newer than the payload simply produce
-rows without those metrics, so schema-1 payloads and schema-4 payloads
+rows without those metrics, so schema-1 payloads and schema-5 payloads
 aggregate side by side.
 
 A tiny in-memory example (runnable)::
@@ -80,6 +80,10 @@ METRICS: dict[str, MetricSpec] = {
     "runtime_s": MetricSpec(False, "wall-clock runtime of the job/row"),
     "solver_time_s": MetricSpec(False, "cumulative LP re-solve time (schema >= 2)"),
     "synthesis_time_s": MetricSpec(False, "cumulative subgraph synthesis time (schema >= 2)"),
+    "min_clock_ps": MetricSpec(False, "minimum feasible clock period found by the DSE search"),
+    "dse_probes": MetricSpec(False, "clock-period probes the DSE search evaluated"),
+    "warm_hit_rate": MetricSpec(True, "fraction of DSE probes served warm (memo or patched re-solve)"),
+    "lp_rebuilds": MetricSpec(False, "DSE probes that needed a full LP rebuild"),
 }
 
 
@@ -288,6 +292,38 @@ def _table1_rows(source: str, envelope: dict) -> list[ReportRow]:
     return rows
 
 
+def _dse_rows(source: str, envelope: dict) -> list[ReportRow]:
+    data = envelope.get("data", {})
+    mode = data.get("mode", "minclock")
+    rows = []
+    for raw in data.get("designs", []):
+        design = raw.get("design", "")
+        axes = {"design": design}
+        start = raw.get("start_clock_ps")
+        if start is not None:
+            axes["clock_period_ps"] = start
+        metrics: dict = {}
+        if raw.get("min_clock_ps") is not None:
+            metrics["min_clock_ps"] = float(raw["min_clock_ps"])
+        if "num_probes" in raw:
+            metrics["dse_probes"] = float(raw["num_probes"])
+        warm = raw.get("warm", {})
+        for key, name in (("warm_hit_rate", "warm_hit_rate"),
+                          ("lp_rebuilds", "lp_rebuilds"),
+                          ("solve_time_s", "solver_time_s")):
+            if key in warm:
+                metrics[name] = float(warm[key])
+        if "elapsed_s" in raw:
+            metrics["runtime_s"] = float(raw["elapsed_s"])
+        # Synthesised join key: stable across runs of the same search, so
+        # `report diff` can gate a branch's min_clock_ps against main's.
+        job_id = _digest({"experiment": "dse", "design": design,
+                          "mode": mode, "start_clock_ps": start})
+        rows.append(ReportRow(job_id=job_id, source=source, axes=axes,
+                              metrics=metrics))
+    return rows
+
+
 def _campaign_payload_rows(source: str, envelope: dict) -> list[ReportRow]:
     return [
         _campaign_row(source=source, job_id=job.get("job_id", ""),
@@ -301,12 +337,14 @@ def _campaign_payload_rows(source: str, envelope: dict) -> list[ReportRow]:
 
 def load_experiment_payload(path: str | Path,
                             source: str | None = None) -> ReportFrame:
-    """Load a runner ``--json`` payload (envelope schemas 1-4) into a frame.
+    """Load a runner ``--json`` payload (envelope schemas 1-5) into a frame.
 
     Supported experiments: ``campaign`` (one row per job, axes from each
-    job's config) and ``table1`` (one row per benchmark, SDC columns as the
-    ``*_initial`` metrics).  The figure payloads carry curves rather than
-    per-run records and are rejected with a clear error.
+    job's config), ``table1`` (one row per benchmark, SDC columns as the
+    ``*_initial`` metrics) and ``dse`` (one row per searched design with
+    the ``min_clock_ps`` / warm-start metrics).  The figure payloads carry
+    curves rather than per-run records and are rejected with a clear
+    error.
 
     Raises:
         ValueError: not a runner payload, or an unsupported experiment.
@@ -322,10 +360,12 @@ def load_experiment_payload(path: str | Path,
         rows = _campaign_payload_rows(label, envelope)
     elif experiment == "table1":
         rows = _table1_rows(label, envelope)
+    elif experiment == "dse":
+        rows = _dse_rows(label, envelope)
     else:
         raise ValueError(
             f"cannot build report rows from the {experiment!r} payload in "
-            f"{path}; supported experiments: campaign, table1")
+            f"{path}; supported experiments: campaign, dse, table1")
     rows.sort(key=lambda row: row.job_id)
     return ReportFrame(rows)
 

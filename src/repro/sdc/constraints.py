@@ -112,6 +112,17 @@ class ConstraintSystem:
         """Number of node pairs currently carrying a timing constraint."""
         return len(self._timing_rows)
 
+    def timing_entries(self) -> list[tuple[int, int, int]]:
+        """All ``(u, v, row)`` timing entries in insertion (row-major) order.
+
+        Insertion order is the enumeration order of the builder
+        (:func:`~repro.sdc.problem.add_timing_constraints` walks
+        ``np.nonzero(matrix > budget)`` row-major), which is what lets the
+        clock-period rebase pack the pairs into arrays aligned with a fresh
+        row-major enumeration.
+        """
+        return [(u, v, row) for (u, v), row in self._timing_rows.items()]
+
     def set_timing_bound(self, u: int, v: int, bound: int) -> bool:
         """Replace the bound of the existing timing constraint on ``(u, v)``.
 
@@ -160,6 +171,23 @@ class ConstraintSystem:
     def is_feasible_schedule(self, schedule: dict[int, int]) -> bool:
         """True if ``schedule`` satisfies every constraint and pin."""
         return not self.violations(schedule)
+
+    def clone(self) -> "ConstraintSystem":
+        """An independent deep copy of this system.
+
+        The constraint list, seen-set, timing-row map, variables and pins are
+        all duplicated, so mutating the clone (``add``, ``set_timing_bound``)
+        never touches the original.  The :class:`DifferenceConstraint`
+        entries themselves are frozen and therefore shared.
+        """
+        duplicate = ConstraintSystem(
+            variables=set(self.variables),
+            pinned=dict(self.pinned),
+            _constraints=list(self._constraints),
+            _seen=set(self._seen),
+            _timing_rows=dict(self._timing_rows),
+        )
+        return duplicate
 
     def merge(self, other: "ConstraintSystem") -> None:
         """Merge another system's variables, pins and constraints into this one."""

@@ -72,6 +72,11 @@ def add_dependency_constraints(system: ConstraintSystem, graph: DataflowGraph) -
             system.add_dependency(operand, node.node_id)
 
 
+def timing_bound_for(delay: float, clock_period_ps: float) -> int:
+    """The difference-constraint bound Eq. 2 derives from a pairwise delay."""
+    return -(math.ceil(delay / clock_period_ps) - 1)
+
+
 def add_timing_constraints(system: ConstraintSystem, matrix: np.ndarray,
                            index_of: Mapping[int, int],
                            clock_period_ps: float) -> int:
@@ -92,17 +97,12 @@ def add_timing_constraints(system: ConstraintSystem, matrix: np.ndarray,
         delay = matrix[row, col]
         if delay == NOT_CONNECTED:
             continue
-        min_distance = math.ceil(delay / clock_period_ps) - 1
+        min_distance = -timing_bound_for(delay, clock_period_ps)
         if min_distance <= 0:
             continue
         if system.add_timing(order[row], order[col], min_distance):
             added += 1
     return added
-
-
-def timing_bound_for(delay: float, clock_period_ps: float) -> int:
-    """The difference-constraint bound Eq. 2 derives from a pairwise delay."""
-    return -(math.ceil(delay / clock_period_ps) - 1)
 
 
 def build_system(graph: DataflowGraph, matrix: np.ndarray,
@@ -123,6 +123,29 @@ def build_system(graph: DataflowGraph, matrix: np.ndarray,
                 system.pin(node.node_id, 0)
     add_timing_constraints(system, matrix, index_of, timing_budget_ps)
     return system
+
+
+@dataclass(frozen=True)
+class TimingPack:
+    """The timing pairs of one constraint system, packed into arrays.
+
+    Everything here is immutable once built (the *set* of timing pairs only
+    changes on a full rebuild), so clones share one pack; the current bound
+    of each pair lives in the LP's right-hand side, not in the pack.
+
+    Attributes:
+        rows: matrix row index of every pair, in constraint (row-major) order.
+        cols: matrix column index of every pair, aligned with ``rows``.
+        node_u: node id of every pair's source, aligned with ``rows``.
+        node_v: node id of every pair's sink, aligned with ``rows``.
+        lp_rows: stable constraint-row index of every pair's bound.
+    """
+
+    rows: np.ndarray
+    cols: np.ndarray
+    node_u: np.ndarray
+    node_v: np.ndarray
+    lp_rows: np.ndarray
 
 
 @dataclass
@@ -265,6 +288,7 @@ class ScheduleProblem:
         self.system = ConstraintSystem()
         self._lp: AssembledLp | None = None
         self._repair_adjacency: dict[int, list[int]] | None = None
+        self._timing_pack: TimingPack | None = None
         self._build_system(matrix, index_of)
 
     # ------------------------------------------------------------ construction
@@ -276,11 +300,47 @@ class ScheduleProblem:
                                    self.timing_budget_ps, self.pin_sources)
         self._lp = None
         self._repair_adjacency = None
+        self._timing_pack = None
 
     def rebuild(self, matrix: np.ndarray, index_of: Mapping[int, int]) -> None:
         """Rebuild everything from the current delay matrix (full fallback)."""
         self.rebuilds += 1
         self._build_system(matrix, index_of)
+
+    def clone(self) -> "ScheduleProblem":
+        """An independent copy sharing only the immutable per-graph state.
+
+        The constraint system and the cached LP are deep-copied (the LP's
+        right-hand side is the one array delta updates patch in place;
+        everything else in :class:`AssembledLp` is never mutated and is
+        shared), so rebasing or patching the clone can never alias state
+        back into the donor -- the donor's solved schedule stays
+        byte-identical.  ``register_weights``, ``users_map`` and the cached
+        repair adjacency are immutable once computed and therefore shared.
+        Counters start at the donor's values (they describe cumulative work,
+        not identity).
+        """
+        duplicate = ScheduleProblem.__new__(ScheduleProblem)
+        duplicate.graph = self.graph
+        duplicate.timing_budget_ps = self.timing_budget_ps
+        duplicate.latency_weight = self.latency_weight
+        duplicate.pin_sources = self.pin_sources
+        duplicate.register_weights = self.register_weights
+        duplicate.users_map = self.users_map
+        duplicate.rebuilds = self.rebuilds
+        duplicate.bound_patches = self.bound_patches
+        duplicate.system = self.system.clone()
+        duplicate._lp = None
+        if self._lp is not None:
+            lp = self._lp
+            duplicate._lp = AssembledLp(
+                var_index=lp.var_index, lifetime_index=lp.lifetime_index,
+                num_vars=lp.num_vars, a_ub=lp.a_ub, b_ub=lp.b_ub.copy(),
+                objective=lp.objective, bounds=lp.bounds,
+                num_constraint_rows=lp.num_constraint_rows)
+        duplicate._repair_adjacency = self._repair_adjacency
+        duplicate._timing_pack = self._timing_pack
+        return duplicate
 
     # ----------------------------------------------------------- delta updates
 
@@ -333,7 +393,110 @@ class ScheduleProblem:
             self.bound_patches += 1
         return True
 
+    def rebase_timing(self, matrix: np.ndarray, index_of: Mapping[int, int],
+                      new_budget_ps: float) -> bool:
+        """Re-target the problem to a new combinational budget in place.
+
+        The clock-period DSE layer probes the *same* design (same graph,
+        same delay matrix) at many clock periods; between two periods only
+        the timing constraints move -- the set of constrained pairs
+        (``matrix > budget``) and each pair's ``ceil(delay / budget) - 1``
+        bound.  When the pair set is unchanged the whole re-target is a
+        bound patch: only pairs whose ceil bucket actually changed are
+        touched, through the same :meth:`~repro.sdc.constraints.ConstraintSystem.set_timing_bound`
+        row-identity machinery the ISDC delta updates use, so the cached LP
+        survives with its right-hand side patched in place.
+
+        Byte parity with a cold build at ``new_budget_ps`` holds because a
+        rebuild enumerates timing pairs as ``np.nonzero(matrix > budget)``
+        in row-major order: an unchanged pair set means an unchanged
+        constraint order, and patched bounds use the same
+        :func:`timing_bound_for` formula a rebuild would.
+
+        Args:
+            matrix: the design's delay matrix (unchanged across periods).
+            index_of: node id -> matrix row/column.
+            new_budget_ps: the new combinational budget (clock period minus
+                register overhead).
+
+        Returns:
+            True when the re-target was applied as an in-place bound patch
+            (including the no-op case of an identical budget).  False when
+            the pair set differs -- a timing constraint would appear or
+            vanish -- or the system's pairs do not match this matrix; the
+            problem is then left *unmodified* and the caller must
+            :meth:`rebuild` after updating :attr:`timing_budget_ps`.
+        """
+        new_budget = float(new_budget_ps)
+        if new_budget == self.timing_budget_ps:
+            return True
+        mask = matrix > new_budget
+        np.fill_diagonal(mask, False)
+        pack = self.timing_pack(index_of)
+        nz_rows, nz_cols = np.nonzero(mask)
+        # The pair set (and its row-major order) must be exactly the one the
+        # system carries; np.nonzero enumerates row-major and the pack was
+        # built in the same order, so plain array equality checks both.
+        if len(nz_rows) != len(pack.rows) \
+                or not np.array_equal(nz_rows, pack.rows) \
+                or not np.array_equal(nz_cols, pack.cols):
+            return False
+        delays = matrix[pack.rows, pack.cols]
+        new_bounds = -(np.ceil(delays / new_budget).astype(np.int64) - 1)
+        current = np.array(
+            [self.system.constraint_at(row).bound
+             for row in pack.lp_rows.tolist()], dtype=np.int64) \
+            if self._lp is None \
+            else self._lp.b_ub[pack.lp_rows].astype(np.int64)
+        changed = np.nonzero(new_bounds != current)[0]
+        for position in changed.tolist():
+            self.system.set_timing_bound(int(pack.node_u[position]),
+                                         int(pack.node_v[position]),
+                                         int(new_bounds[position]))
+        if self._lp is not None and len(changed):
+            self._lp.b_ub[pack.lp_rows[changed]] = \
+                new_bounds[changed].astype(float)
+        self.bound_patches += int(len(changed))
+        self.timing_budget_ps = new_budget
+        return True
+
+    def retarget(self, matrix: np.ndarray, index_of: Mapping[int, int],
+                 new_budget_ps: float) -> bool:
+        """Move the problem to a new budget: bound patch, or full rebuild.
+
+        Returns:
+            True when :meth:`rebase_timing` patched in place, False when the
+            pair set changed and a full rebuild was performed instead (the
+            problem is valid for ``new_budget_ps`` either way).
+        """
+        if self.rebase_timing(matrix, index_of, new_budget_ps):
+            return True
+        self.timing_budget_ps = float(new_budget_ps)
+        self.rebuild(matrix, index_of)
+        return False
+
     # ----------------------------------------------------------------- caches
+
+    def timing_pack(self, index_of: Mapping[int, int]) -> TimingPack:
+        """The packed timing-pair arrays (cached; shared by clones).
+
+        The set of timing pairs only changes on a rebuild, so the pack is
+        immutable for the problem's lifetime and cheap to share; only each
+        pair's *bound* moves between rebases, and that lives in the LP's
+        right-hand side.
+        """
+        if self._timing_pack is None:
+            entries = self.system.timing_entries()
+            self._timing_pack = TimingPack(
+                rows=np.array([index_of[u] for u, _, _ in entries],
+                              dtype=np.intp),
+                cols=np.array([index_of[v] for _, v, _ in entries],
+                              dtype=np.intp),
+                node_u=np.array([u for u, _, _ in entries], dtype=np.int64),
+                node_v=np.array([v for _, v, _ in entries], dtype=np.int64),
+                lp_rows=np.array([row for _, _, row in entries],
+                                 dtype=np.intp))
+        return self._timing_pack
 
     def lp(self) -> AssembledLp:
         """The assembled LP (cached; bounds are patched in place by deltas)."""

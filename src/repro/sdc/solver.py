@@ -221,6 +221,30 @@ def solve_lp(system: ConstraintSystem,
     return repaired
 
 
+def solve_problem(problem: ScheduleProblem) -> dict[int, int]:
+    """Solve a persistent problem on its cached (or freshly assembled) LP.
+
+    This is the one solve path shared by the incremental ISDC strategy and
+    the DSE warm-start engine: the problem's cached LP (bounds possibly
+    patched in place by delta updates or a clock-period rebase) is solved
+    with HiGHS, the integral rounding is repaired over the cached row
+    adjacency, and the result is checked feasible.  Because
+    :func:`~repro.sdc.problem.assemble_lp` is deterministic in the system,
+    a problem whose patched arrays equal a freshly built problem's arrays
+    produces a byte-identical schedule.
+
+    Raises:
+        SdcInfeasibleError: if the LP (or the rounding repair) is infeasible.
+    """
+    lp = problem.lp()
+    rounded = _round_solution(problem.system, lp, _solve_assembled(lp))
+    repaired = _repair_with_adjacency(problem.system, rounded,
+                                      problem.repair_adjacency())
+    if not problem.system.is_feasible_schedule(repaired):
+        raise SdcInfeasibleError("rounded LP solution could not be repaired")
+    return repaired
+
+
 # --------------------------------------------------------------------------
 # Re-solve strategies over a persistent ScheduleProblem
 # --------------------------------------------------------------------------
@@ -296,13 +320,7 @@ class IncrementalSolver:
             self.fallback_solves += 1
         else:
             self.incremental_solves += 1
-        lp = problem.lp()
-        rounded = _round_solution(problem.system, lp, _solve_assembled(lp))
-        repaired = _repair_with_adjacency(problem.system, rounded,
-                                          problem.repair_adjacency())
-        if not problem.system.is_feasible_schedule(repaired):
-            raise SdcInfeasibleError("rounded LP solution could not be repaired")
-        return repaired
+        return solve_problem(problem)
 
 
 SOLVERS = {

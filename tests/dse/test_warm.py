@@ -1,0 +1,221 @@
+"""Warm-start engine tests: cache behaviour, rebasing, clone isolation.
+
+The byte-parity *sweeps* live in ``test_parity.py``; this module pins the
+mechanics -- which path serves a probe (memo / budget / warm / cold), the
+pair-rank donor selection, the vectorized rebase, and the guarantee that
+mutating a cloned :class:`~repro.sdc.problem.ScheduleProblem` never
+perturbs its donor's solved schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dse.warm import ProblemCache, build_context
+from repro.sdc.problem import ScheduleProblem
+from repro.sdc.solver import solve_problem
+
+DESIGN = "rrot"
+GEN_DESIGN = ("gen:seed=11,depth=6,width=4,fanout=2,bits=8,inputs=3,"
+              "clock=2000,mix=add3+xor2+sub1+rotr1")
+
+
+@pytest.fixture(scope="module")
+def context():
+    return build_context(DESIGN)
+
+
+class TestDesignContext:
+    def test_lower_bound_is_worst_delay_plus_overhead(self, context):
+        assert context.lower_bound_ps == pytest.approx(
+            context.worst_delay_ps + context.register_overhead_ps)
+
+    def test_pair_rank_is_monotone_in_budget(self, context):
+        budgets = np.linspace(context.worst_delay_ps,
+                              context.default_clock_ps * 2, 17)
+        ranks = [context.pair_rank(float(b)) for b in budgets]
+        assert ranks == sorted(ranks, reverse=True)
+
+    def test_pair_rank_matches_matrix_count(self, context):
+        budget = context.default_clock_ps - context.register_overhead_ps
+        mask = context.matrix > budget
+        np.fill_diagonal(mask, False)
+        assert context.pair_rank(budget) == int(mask.sum())
+
+
+class TestProblemCacheServingPaths:
+    def test_budget_rejection_touches_no_lp(self, context):
+        cache = ProblemCache()
+        outcome = cache.probe(DESIGN, context.worst_delay_ps / 2)
+        assert not outcome.feasible and outcome.reason == "budget"
+        assert cache.budget_skips == 1 and cache.cold_solves == 0
+
+    def test_first_probe_is_cold_second_identical_is_memo(self):
+        cache = ProblemCache()
+        first = cache.probe(DESIGN, 2500.0)
+        again = cache.probe(DESIGN, 2500.0)
+        assert first.feasible and not first.memo_hit and first.lp_rebuild
+        assert again.memo_hit and not again.lp_rebuild
+        assert again.stages == first.stages
+        assert cache.cold_solves == 1 and cache.memo_hits == 1
+
+    def test_same_rank_neighbour_is_served_warm(self, context):
+        cache = ProblemCache()
+        base = cache.probe(DESIGN, 2500.0)
+        rank = context.pair_rank(2500.0 - context.register_overhead_ps)
+        # Walk outward until a period shares the base probe's pair rank.
+        for delta in (1.0, 2.0, 4.0, 8.0):
+            period = 2500.0 + delta
+            if context.pair_rank(period - context.register_overhead_ps) \
+                    == rank:
+                break
+        else:
+            pytest.skip("no same-rank neighbour within 8 ps")
+        warm = cache.probe(DESIGN, period)
+        assert warm.warm_patched and not warm.lp_rebuild
+        assert warm.feasible == base.feasible
+        assert cache.warm_solves == 1
+
+    def test_zero_patch_rebase_reuses_donor_solution(self, context):
+        cache = ProblemCache()
+        base = cache.probe(DESIGN, 2500.0)
+        rank = context.pair_rank(2500.0 - context.register_overhead_ps)
+        for delta in (0.001, 0.01, 0.1):
+            period = 2500.0 + delta
+            if context.pair_rank(period - context.register_overhead_ps) \
+                    != rank:
+                continue
+            reuse = cache.probe(DESIGN, period)
+            if reuse.bound_patches == 0:
+                assert reuse.solution_reuse
+                assert reuse.stages == base.stages
+                assert cache.reused_solutions >= 1
+                return
+        pytest.skip("no zero-patch plateau neighbour found")
+
+    def test_rank_mismatch_rebuilds_instead_of_rebasing(self, context):
+        cache = ProblemCache()
+        cache.probe(DESIGN, context.default_clock_ps * 4)
+        near = cache.probe(DESIGN, context.lower_bound_ps + 50.0)
+        # Very different periods constrain very different pair sets; the
+        # cache must rebuild the clone, not attempt the doomed rebase.
+        assert near.lp_rebuild and not near.warm_patched
+        assert near.bound_patches == 0
+
+    def test_counters_partition_all_probes(self):
+        cache = ProblemCache()
+        context = cache.context(GEN_DESIGN)
+        periods = np.linspace(context.lower_bound_ps * 0.8,
+                              context.default_clock_ps * 1.5, 12)
+        for period in periods:
+            cache.probe(GEN_DESIGN, float(period))
+        total = (cache.memo_hits + cache.warm_solves + cache.cold_solves
+                 + cache.budget_skips)
+        assert total == len(periods)
+
+
+class TestColdProbeReference:
+    def test_cold_probe_never_caches(self):
+        cache = ProblemCache()
+        first = cache.cold_probe(DESIGN, 2500.0)
+        second = cache.cold_probe(DESIGN, 2500.0)
+        assert first.feasible and second.feasible
+        assert not second.memo_hit
+        assert cache.cold_solves == 0 and cache.memo_hits == 0
+        assert first.stages == second.stages
+
+
+class TestCloneIsolation:
+    """Satellite regression: mutating a clone never perturbs its donor."""
+
+    def _fresh_problem(self, context) -> ScheduleProblem:
+        budget = context.default_clock_ps - context.register_overhead_ps
+        return ScheduleProblem(context.graph, context.matrix,
+                               context.index_of, budget)
+
+    def test_rebasing_a_clone_leaves_donor_schedule_byte_identical(
+            self, context):
+        donor = self._fresh_problem(context)
+        donor_stages = solve_problem(donor)
+        donor_b_ub = donor.lp().b_ub.copy()
+        donor_bounds = [(c.u, c.v, c.bound)
+                        for c in donor.system.constraints("timing")]
+
+        clone = donor.clone()
+        tighter = donor.timing_budget_ps * 0.7
+        clone.retarget(context.matrix, context.index_of, tighter)
+        solve_problem(clone)
+
+        assert donor.timing_budget_ps != tighter
+        np.testing.assert_array_equal(donor.lp().b_ub, donor_b_ub)
+        assert [(c.u, c.v, c.bound)
+                for c in donor.system.constraints("timing")] == donor_bounds
+        assert solve_problem(donor) == donor_stages
+
+    def test_mutating_clone_constraints_does_not_leak(self, context):
+        donor = self._fresh_problem(context)
+        solve_problem(donor)
+        before = len(donor.system)
+        clone = donor.clone()
+        some_node = next(iter(donor.system.variables))
+        clone.system.add(some_node, some_node, 0, kind="user")
+        assert len(donor.system) == before
+
+    def test_clone_shares_timing_pack_and_immutables(self, context):
+        donor = self._fresh_problem(context)
+        pack = donor.timing_pack(context.index_of)
+        clone = donor.clone()
+        assert clone.timing_pack(context.index_of) is pack
+        assert clone.register_weights is donor.register_weights
+        assert clone.users_map is donor.users_map
+
+
+class TestTimingPackRebase:
+    def test_pack_matches_constraint_system(self, context):
+        problem = ScheduleProblem(
+            context.graph, context.matrix, context.index_of,
+            context.default_clock_ps - context.register_overhead_ps)
+        pack = problem.timing_pack(context.index_of)
+        entries = problem.system.timing_entries()
+        assert len(pack.rows) == len(entries)
+        for position, (u, v, row) in enumerate(entries):
+            assert pack.node_u[position] == u
+            assert pack.node_v[position] == v
+            assert pack.lp_rows[position] == row
+            assert pack.rows[position] == context.index_of[u]
+            assert pack.cols[position] == context.index_of[v]
+
+    def test_rebase_equals_fresh_build(self, context):
+        budget = context.default_clock_ps - context.register_overhead_ps
+        problem = ScheduleProblem(context.graph, context.matrix,
+                                  context.index_of, budget)
+        solve_problem(problem)
+        # Pick a different budget with the same constrained-pair set.
+        target = None
+        for delta in (1.0, 5.0, 25.0, 100.0):
+            if context.pair_rank(budget + delta) == context.pair_rank(budget):
+                target = budget + delta
+                break
+        if target is None:
+            pytest.skip("no same-rank budget nearby")
+        assert problem.rebase_timing(context.matrix, context.index_of, target)
+        fresh = ScheduleProblem(context.graph, context.matrix,
+                                context.index_of, target)
+        np.testing.assert_array_equal(problem.lp().b_ub, fresh.lp().b_ub)
+        assert solve_problem(problem) == solve_problem(fresh)
+
+    def test_rebase_refuses_when_pair_set_moves(self, context):
+        budget = context.default_clock_ps - context.register_overhead_ps
+        problem = ScheduleProblem(context.graph, context.matrix,
+                                  context.index_of, budget)
+        target = context.worst_delay_ps * 1.01
+        if context.pair_rank(target) == context.pair_rank(budget):
+            pytest.skip("pair set did not move over the tested range")
+        bounds_before = [(c.u, c.v, c.bound)
+                         for c in problem.system.constraints("timing")]
+        assert not problem.rebase_timing(context.matrix, context.index_of,
+                                         target)
+        assert [(c.u, c.v, c.bound)
+                for c in problem.system.constraints("timing")] \
+            == bounds_before
