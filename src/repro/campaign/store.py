@@ -1,28 +1,37 @@
-"""The campaign run store: an append-only JSONL checkpoint file.
+"""The campaign run store: a typed view over the unified artifact store.
 
-Layout: one header record followed by one record per completed job::
+On disk a campaign is a set of unified store records
+(:mod:`repro.store`): one ``campaign-header`` record (key = the spec's
+fingerprint) and one ``campaign-job`` record per completed job (key = the
+content-addressed job id)::
 
-    {"kind": "header", "schema": 1, "name": ..., "fingerprint": ...,
-     "num_jobs": N, "spec": {...}}
-    {"kind": "job", "job_id": ..., "design": ..., "result": {...},
-     "runtime_s": ...}
+    {"kind": "campaign-header", "key": "<fingerprint>", "schema": 2,
+     "body": {"name": ..., "fingerprint": ..., "num_jobs": N, "spec": {...}}}
+    {"kind": "campaign-job", "key": "<job id>", "schema": 2,
+     "body": {"design": ..., "result": {...}, "runtime_s": ...}}
 
 The store is the campaign's durability layer: the executor appends (and
 flushes) a record the moment a job completes, so killing a sweep loses at
 most the jobs in flight.  On resume the header's spec fingerprint must match
 the requested spec -- a store can never silently satisfy a *different*
-campaign -- and already-recorded job ids are skipped.
+campaign -- and already-recorded job ids are skipped.  Because job ids are
+content hashes of ``(design, config)``, a store file may safely hold other
+record kinds (cache entries, payloads) alongside a campaign; the view only
+reads its own kinds.
 
 A kill can leave a torn final line (no trailing newline, or half-written
-JSON).  Loading tolerates exactly that: a corrupt *trailing* line is
-truncated away (its job simply re-runs) while corruption anywhere earlier is
-an error, because records behind it may then be unreachable garbage.
+JSON).  Loading tolerates exactly that -- the shared parser lives in
+:mod:`repro.store.jsonl` now -- a corrupt *trailing* line is truncated away
+(its job simply re-runs) while corruption anywhere earlier is an error.
+Legacy schema-1 run stores (the pre-unification ``{"kind": "header"}``
+format) still load everywhere, and resuming one migrates it to the unified
+format in place first.
 
 Everything in the ``result`` payload is deterministic (no wall-clock
 fields); per-job ``runtime_s`` lives beside it and never enters
 :meth:`RunStore.final_payload`, so two stores of the same campaign --
-interrupted-and-resumed or not, under any ``PYTHONHASHSEED`` -- agree byte
-for byte on the final payload.
+interrupted-and-resumed or not, before or after ``runner store compact``,
+under any ``PYTHONHASHSEED`` -- agree byte for byte on the final payload.
 
 An in-memory store (``path=None``) exercises the same record/export
 machinery without touching disk::
@@ -45,71 +54,63 @@ machinery without touching disk::
 
 For *analysis* of a finished (or interrupted) store -- where the spec is
 whatever the file says it is -- use :meth:`RunStore.load`, which reads any
-campaign's store without demanding a matching spec.
+campaign's store (either format) without demanding a matching spec.
 """
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 from typing import TYPE_CHECKING
+
+from repro.store import (ArtifactStore, campaign_header_record,
+                         campaign_job_record, migrate_records, sniff_format)
+# Re-exported for backward compatibility: the torn-tail parser used to be
+# private here and is now the shared crash-tolerance primitive.
+from repro.store.jsonl import parse_jsonl_tail  # noqa: F401
+from repro.store.migrate import CAMPAIGN_BODY_SCHEMA
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.campaign.spec import CampaignJob, CampaignSpec
 
-STORE_SCHEMA_VERSION = 1
+#: Campaign body schema in the unified store (1 was the legacy standalone
+#: JSONL format; 2 is the unified-record form).
+STORE_SCHEMA_VERSION = CAMPAIGN_BODY_SCHEMA
+LEGACY_STORE_SCHEMA_VERSION = 1
 
 
 class StoreMismatchError(ValueError):
     """The store on disk belongs to a different campaign or schema."""
 
 
-def _parse_store_file(path: Path) -> tuple[list[dict], list[bytes], bytes]:
-    """Parse a store file into ``(records, complete lines, torn tail)``.
-
-    A corrupt *trailing* line (the signature of a kill mid-append) is
-    tolerated and returned as the tail; corruption anywhere earlier raises.
-
-    Raises:
-        ValueError: the file is corrupt before its final line.
-    """
-    raw = path.read_bytes()
-    lines = raw.split(b"\n")
-    # Everything after the final newline is a torn tail (possibly empty).
-    complete, tail = lines[:-1], lines[-1]
-    records = []
-    for position, line in enumerate(complete):
-        if not line.strip():
-            continue
-        try:
-            records.append(json.loads(line))
-        except json.JSONDecodeError:
-            if position == len(complete) - 1 and not tail:
-                tail = line  # corrupt final line, newline and all
-                complete = complete[:position]
-                break
-            raise ValueError(
-                f"run store {path} is corrupt at line {position + 1}; "
-                "only the trailing line of an interrupted run may be torn")
-    return records, complete, tail
+def _legacy_records_to_store(records) -> tuple[dict | None, dict[str, dict]]:
+    """Split migrated records into ``(header body, job_id -> job body)``."""
+    header = None
+    results: dict[str, dict] = {}
+    for record in records:
+        if record.kind == "campaign-header" and header is None:
+            header = record.body
+        elif record.kind == "campaign-job":
+            results[record.key] = record.body
+    return header, results
 
 
 class RunStore:
     """Checkpointed results of one campaign, keyed by job id.
 
     Args:
-        path: JSONL file backing the store; ``None`` keeps everything in
-            memory (no durability, useful for API runs and tests).
+        path: store file backing the campaign; ``None`` keeps everything
+            in memory (no durability, useful for API runs and tests).
 
     Attributes:
         path: the backing file (or ``None``).
-        results: job id -> job record (``design``, ``result``, ``runtime_s``).
+        results: job id -> job body (``design``, ``result``, ``runtime_s``).
     """
 
     def __init__(self, path: str | Path | None = None) -> None:
         self.path = Path(path) if path is not None else None
         self.results: dict[str, dict] = {}
         self._header: dict | None = None
+        self._store: ArtifactStore | None = None
 
     # ------------------------------------------------------------- lifecycle
 
@@ -129,8 +130,6 @@ class RunStore:
             ValueError: the file is corrupt before its final line.
         """
         self._header = {
-            "kind": "header",
-            "schema": STORE_SCHEMA_VERSION,
             "name": spec.name,
             "fingerprint": spec.fingerprint(),
             "num_jobs": len(spec.jobs() if jobs is None else jobs),
@@ -138,48 +137,77 @@ class RunStore:
         }
         if self.path is None:
             return
+        self._store = ArtifactStore(self.path)
         if self.path.exists() and self.path.stat().st_size > 0:
             if not resume:
                 raise FileExistsError(
                     f"run store {self.path} already exists; pass resume=True "
                     "(--resume) to continue it or choose another path")
+            self._migrate_legacy_in_place()
             self._load()
         else:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            with self.path.open("w") as handle:
-                handle.write(json.dumps(self._header) + "\n")
+            self._store.open_for_append()
+            self._store.put(campaign_header_record(self._header))
+
+    def _migrate_legacy_in_place(self) -> None:
+        """Rewrite a legacy schema-1 file as unified records before resuming."""
+        if sniff_format(self.path) != "run-store-v1":
+            return
+        self._check_legacy_schema()
+        _, records = migrate_records(self.path)
+        ArtifactStore(self.path).replace_with(records)
+        self._store = ArtifactStore(self.path)
+
+    def _check_legacy_schema(self) -> None:
+        records, _, _, _ = parse_jsonl_tail(self.path, tolerant=False)
+        header = records[0] if records else {}
+        if header.get("kind") != "header":
+            raise StoreMismatchError(
+                f"run store {self.path} has no campaign header")
+        if header.get("schema") != LEGACY_STORE_SCHEMA_VERSION:
+            raise StoreMismatchError(
+                f"run store {self.path} has schema {header.get('schema')}, "
+                f"expected {LEGACY_STORE_SCHEMA_VERSION} or "
+                f"{STORE_SCHEMA_VERSION}")
 
     def _load(self) -> None:
-        records, complete, tail = _parse_store_file(self.path)
-        header = self._check_header(records)
+        store = self._store.open_for_append()
+        header = self._find_header(store, self.path)
         if header.get("fingerprint") != self._header["fingerprint"]:
             raise StoreMismatchError(
                 f"run store {self.path} belongs to campaign "
                 f"{header.get('name')!r} (fingerprint "
                 f"{header.get('fingerprint')!r}); it cannot resume this one")
-        for record in records[1:]:
-            if record.get("kind") == "job" and "job_id" in record:
-                self.results[record["job_id"]] = record
-        if tail:
-            # Drop the torn line so future appends start on a clean boundary.
-            kept = b"\n".join(complete) + b"\n" if complete else b""
-            self.path.write_bytes(kept)
+        for record in store.kind("campaign-job"):
+            self.results[record.key] = record.body
 
-    def _check_header(self, records: list[dict]) -> dict:
-        """Validate the store's first record and return it.
+    def _find_header(self, store: ArtifactStore, path: Path) -> dict:
+        """Pick this campaign's header record, validating its schema.
+
+        The header under the requested spec's fingerprint wins (a shared
+        store may hold several campaigns); with no bound spec -- or no
+        exact match -- the first header in the file is returned so the
+        mismatch error can name the foreign campaign.
 
         Raises:
             StoreMismatchError: no header record, or a foreign schema.
         """
-        if not records or records[0].get("kind") != "header":
+        wanted = (self._header or {}).get("fingerprint")
+        if wanted is not None:
+            exact = store.get("campaign-header", wanted)
+            if exact is not None:
+                return self._validated_header(exact, path)
+        for record in store.kind("campaign-header"):
+            return self._validated_header(record, path)
+        raise StoreMismatchError(f"run store {path} has no campaign header")
+
+    @staticmethod
+    def _validated_header(record, path: Path) -> dict:
+        if record.schema != STORE_SCHEMA_VERSION:
             raise StoreMismatchError(
-                f"run store {self.path} has no campaign header")
-        header = records[0]
-        if header.get("schema") != STORE_SCHEMA_VERSION:
-            raise StoreMismatchError(
-                f"run store {self.path} has schema {header.get('schema')}, "
+                f"run store {path} has campaign schema {record.schema}, "
                 f"expected {STORE_SCHEMA_VERSION}")
-        return header
+        return record.body
 
     # ------------------------------------------------------------- analysis
 
@@ -190,8 +218,9 @@ class RunStore:
         Unlike :meth:`open`, no spec is required: the header on disk *is*
         the campaign identity, so any store -- finished, interrupted, even
         one with a torn trailing line -- loads as-is (the file is never
-        modified; a torn tail is simply ignored).  This is the entry point
-        the report engine (:mod:`repro.report`) uses.
+        modified; a torn tail is simply ignored).  Legacy schema-1 files
+        load equally.  This is the entry point the report engine
+        (:mod:`repro.report`) uses.
 
         Raises:
             FileNotFoundError: no file at ``path``.
@@ -200,11 +229,25 @@ class RunStore:
             ValueError: the file is corrupt before its final line.
         """
         store = cls(path)
-        records, _, _ = _parse_store_file(store.path)
-        store._header = store._check_header(records)
-        for record in records[1:]:
-            if record.get("kind") == "job" and "job_id" in record:
-                store.results[record["job_id"]] = record
+        detected = sniff_format(store.path)
+        if detected not in ("store", "run-store-v1"):
+            # Headerless or foreign files are a mismatch, not corruption.
+            raise StoreMismatchError(
+                f"run store {path} has no campaign header")
+        if detected == "run-store-v1":
+            store._check_legacy_schema()
+            _, records = migrate_records(store.path)
+            header, results = _legacy_records_to_store(records)
+            if header is None:
+                raise StoreMismatchError(
+                    f"run store {path} has no campaign header")
+            store._header = header
+            store.results = results
+            return store
+        artifacts = ArtifactStore.load(store.path)
+        store._header = store._find_header(artifacts, store.path)
+        for record in artifacts.kind("campaign-job"):
+            store.results[record.key] = record.body
         return store
 
     @property
@@ -217,19 +260,14 @@ class RunStore:
     def record(self, job: "CampaignJob", result: dict,
                runtime_s: float) -> None:
         """Checkpoint one completed job (appended and flushed immediately)."""
-        entry = {
-            "kind": "job",
-            "job_id": job.job_id,
+        body = {
             "design": job.design,
             "result": result,
             "runtime_s": runtime_s,
         }
-        self.results[job.job_id] = entry
-        if self.path is None:
-            return
-        with self.path.open("a") as handle:
-            handle.write(json.dumps(entry) + "\n")
-            handle.flush()
+        self.results[job.job_id] = body
+        if self._store is not None:
+            self._store.put(campaign_job_record(job.job_id, body))
 
     @property
     def completed(self) -> set[str]:
@@ -250,7 +288,8 @@ class RunStore:
 
         Jobs appear in the spec's canonical order with their deterministic
         ``result`` payloads only -- no wall-clock fields -- so the payload is
-        byte-identical across runs, resumes and ``PYTHONHASHSEED`` values.
+        byte-identical across runs, resumes, compactions and
+        ``PYTHONHASHSEED`` values.
 
         Raises:
             KeyError: if any job of the spec has not completed yet.
@@ -273,4 +312,5 @@ class RunStore:
         }
 
 
-__all__ = ["RunStore", "StoreMismatchError", "STORE_SCHEMA_VERSION"]
+__all__ = ["LEGACY_STORE_SCHEMA_VERSION", "RunStore", "StoreMismatchError",
+           "STORE_SCHEMA_VERSION", "parse_jsonl_tail"]

@@ -13,8 +13,13 @@ front.  ``--jobs N`` evaluates each batch of speculative probes over N
 worker processes; ``--speculate`` fixes the batch width independently of
 the worker count, making the probed period sequence (and the
 deterministic part of the ``--json`` payload) identical across ``--jobs``
-settings.  ``--json PATH`` writes the schema-5 machine-readable payload
+settings.  ``--json PATH`` writes the schema-6 machine-readable payload
 (:mod:`repro.experiments.serialize`) that ``runner report`` can load.
+``--store STORE.jsonl`` additionally appends every evaluated probe as a
+``dse-probe`` record (plus the payload as a ``payload`` record) to a
+unified artifact store -- probe keys are content-addressed over the
+question asked (design, mode, period, stage bound), so re-running a
+search supersedes its probes instead of duplicating them.
 """
 
 from __future__ import annotations
@@ -112,8 +117,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="pareto only: grid size of the period sweep "
                              "(default: 8)")
     parser.add_argument("--json", dest="json_path", metavar="PATH",
-                        help="also write the schema-5 machine-readable "
+                        help="also write the schema-6 machine-readable "
                              "payload to PATH")
+    parser.add_argument("--store", dest="store_path", metavar="STORE.jsonl",
+                        help="also append every evaluated probe (dse-probe "
+                             "records) and the payload to this artifact "
+                             "store")
     parser.add_argument("--verbose", action="store_true",
                         help="print one summary line per design as it "
                              "finishes")
@@ -155,14 +164,22 @@ def dse_main(argv: list[str] | None = None) -> int:
         parser.error(str(error))
     elapsed = time.perf_counter() - start
     print(format_dse(result))
-    if arguments.json_path:
+    if arguments.json_path or arguments.store_path:
         from repro.experiments.serialize import experiment_payload
 
         payload = experiment_payload("dse", result, quick=arguments.quick,
                                      jobs=arguments.jobs, elapsed_s=elapsed)
-        path = Path(arguments.json_path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(payload, indent=2) + "\n")
+        if arguments.json_path:
+            path = Path(arguments.json_path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(payload, indent=2) + "\n")
+        if arguments.store_path:
+            from repro.dse.search import probe_records
+            from repro.store import ArtifactStore, payload_record
+
+            store = ArtifactStore(arguments.store_path).open_for_append()
+            store.put_many(probe_records(result))
+            store.put(payload_record(payload))
     return 0
 
 

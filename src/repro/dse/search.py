@@ -128,6 +128,49 @@ class DseResult:
 #: wall clock; everything else must be byte-identical across ``jobs``.
 NONDETERMINISTIC_KEYS = ("warm", "elapsed_s")
 
+#: Body schema of ``dse-probe`` artifact-store records.
+DSE_PROBE_BODY_SCHEMA = 1
+
+
+def probe_key(design: str, mode: str, clock_period_ps: float,
+              max_stages: int | None = None) -> str:
+    """Content key of one DSE probe in the unified artifact store.
+
+    Identity is the *question asked* -- design, search mode, probed clock
+    period and the stage bound that changes feasibility -- never the
+    answer, so re-running a search overwrites rather than duplicates its
+    probes (probe outcomes are deterministic for a fixed question).
+    """
+    from repro.store import content_key
+
+    return content_key({"design": design, "mode": mode,
+                        "clock_period_ps": clock_period_ps,
+                        "max_stages": max_stages})
+
+
+def probe_records(result: "DseResult") -> list:
+    """``dse-probe`` store records of every probe a search evaluated.
+
+    Bodies carry the deterministic probe payload plus the identity fields
+    (design/mode/max_stages); warm-start provenance stays out, so records
+    from ``--jobs 1`` and ``--jobs 8`` runs are byte-identical.
+    """
+    from repro.store import StoreRecord
+
+    records = []
+    for design in result.designs:
+        for outcome in sorted(design.probes, key=lambda o: o.clock_period_ps):
+            body = dict(outcome.to_payload())
+            body["design"] = design.design
+            body["mode"] = design.mode
+            body["max_stages"] = result.max_stages
+            records.append(StoreRecord(
+                kind="dse-probe",
+                key=probe_key(design.design, design.mode,
+                              outcome.clock_period_ps, result.max_stages),
+                schema=DSE_PROBE_BODY_SCHEMA, body=body))
+    return records
+
 
 def deterministic_payload(payload: dict) -> dict:
     """The payload with the provenance/timing fields stripped.

@@ -21,6 +21,8 @@ Usage::
     python -m repro.experiments.runner dse (--designs NAMES | --quick) \
         [--mode minclock|pareto] [--jobs N] [--speculate K] \
         [--resolution-ps PS] [--max-stages N] [--json PATH]
+    python -m repro.experiments.runner store \
+        (ls|verify|compact|gc|migrate) STORE.jsonl [...]
 
 Each sub-command regenerates one artefact of the paper's evaluation and
 prints its ASCII rendition; ``--quick`` reduces iteration counts and design
@@ -54,6 +56,14 @@ can gate on regressions.  See :mod:`repro.report.cli` and ``docs/cli.md``.
 feasible clock (``--mode minclock``) or the latency / register-count
 Pareto front (``--mode pareto``) -- with warm-started probe evaluation
 batched over ``--jobs`` workers.  See :mod:`repro.dse.cli`.
+
+``store`` maintains unified artifact-store files (:mod:`repro.store`):
+``ls`` summarises, ``verify`` health-checks, ``compact`` drops superseded
+duplicate keys, ``gc`` applies size/age retention, and ``migrate`` folds
+the legacy formats (pre-unification campaign stores, evaluation-cache
+JSONL, ``--json`` payloads) into one store file.  ``--store STORE.jsonl``
+on any experiment additionally archives the run's payload as a
+``payload`` record in that store.
 
 Example::
 
@@ -193,6 +203,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.dse.cli import dse_main
 
         return dse_main(argv[1:])
+    if argv and argv[0] == "store":
+        # Artifact-store maintenance (ls/verify/compact/gc/migrate) owns
+        # its own subcommand grammar too.
+        from repro.store.cli import store_main
+
+        return store_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner",
         description="Regenerate one table/figure of the ISDC paper, "
@@ -213,6 +229,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", dest="json_path", metavar="PATH",
                         help="also write the machine-readable result payload "
                              "to PATH")
+    parser.add_argument("--store", dest="archive_store", metavar="STORE.jsonl",
+                        help="also archive the result payload as a 'payload' "
+                             "record in this artifact store (see: runner "
+                             "store --help)")
     parser.add_argument("--spec", dest="spec_path", metavar="SPEC.json",
                         help="campaign only: JSON sweep description "
                              "(CampaignSpec fields); --quick uses the "
@@ -252,14 +272,20 @@ def main(argv: list[str] | None = None) -> int:
     elapsed = time.perf_counter() - start
     print(report)
 
-    if arguments.json_path:
+    if arguments.json_path or arguments.archive_store:
         payload = experiment_payload(arguments.experiment, result,
                                      quick=arguments.quick,
                                      jobs=arguments.jobs, elapsed_s=elapsed,
                                      solver=arguments.solver)
-        path = Path(arguments.json_path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(payload, indent=2) + "\n")
+        if arguments.json_path:
+            path = Path(arguments.json_path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(payload, indent=2) + "\n")
+        if arguments.archive_store:
+            from repro.store import ArtifactStore, payload_record
+
+            archive = ArtifactStore(arguments.archive_store).open_for_append()
+            archive.put(payload_record(payload))
     return 0
 
 

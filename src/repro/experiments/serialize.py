@@ -5,8 +5,9 @@ can be archived, diffed and consumed by the benchmark suite (``--json PATH``
 on :mod:`repro.experiments.runner`).  The payload envelope is::
 
     {
-      "schema": 5,
+      "schema": 6,
       "experiment": "<name>",
+      "store_key": "<hex>",  # content key of (experiment, data), see repro.store
       "quick": bool,
       "jobs": int,
       "solver": "full" | "incremental",
@@ -31,7 +32,12 @@ aggregate-summary and baseline-diff bodies of :mod:`repro.report`, whose
 two shapes); 5 added the ``dse`` payload (per-design clock-period search
 results from :mod:`repro.dse`, whose ``warm`` / ``elapsed_s`` fields are
 the only run-dependent values -- see
-:func:`repro.dse.search.deterministic_payload`).
+:func:`repro.dse.search.deterministic_payload`); 6 added the
+``store_key`` envelope field -- the payload's content key in the unified
+artifact store (:func:`repro.store.payload_key` over the ``experiment``
+and ``data`` fields only, so wall-clock envelope fields never perturb
+it), letting archived ``payload`` store records and loose ``--json``
+files cross-reference.
 """
 
 from __future__ import annotations
@@ -45,8 +51,9 @@ from repro.experiments.fig5 import AblationCurve
 from repro.experiments.fig7 import EstimationAccuracyResult
 from repro.experiments.fig8 import AigCorrelationResult
 from repro.experiments.table1 import TableOneResult
+from repro.store import payload_key
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 
 def _table1_payload(result: TableOneResult) -> dict[str, Any]:
@@ -146,7 +153,7 @@ def experiment_payload(name: str, result: Any, quick: bool = False,
     except KeyError:
         known = ", ".join(sorted(_PAYLOAD_BUILDERS))
         raise ValueError(f"unknown experiment {name!r}; expected one of {known}")
-    return {
+    envelope = {
         "schema": SCHEMA_VERSION,
         "experiment": name,
         "quick": quick,
@@ -155,6 +162,10 @@ def experiment_payload(name: str, result: Any, quick: bool = False,
         "elapsed_s": elapsed_s,
         "data": builder(result),
     }
+    # The content key covers (experiment, data) only -- adding it to the
+    # envelope cannot perturb it, and neither can wall-clock fields.
+    envelope["store_key"] = payload_key(envelope)
+    return envelope
 
 
 __all__ = ["SCHEMA_VERSION", "experiment_payload"]

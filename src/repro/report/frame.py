@@ -3,8 +3,10 @@
 Every analysis in :mod:`repro.report` operates on one in-memory shape, the
 :class:`ReportFrame`: a flat list of :class:`ReportRow`, one per (design x
 configuration) run, regardless of whether the run came from a campaign
-:class:`~repro.campaign.store.RunStore` JSONL file or from an experiment
-``--json`` payload (envelope schemas 1-5).  A row carries
+:class:`~repro.campaign.store.RunStore` file (legacy or unified format), a
+unified :class:`~repro.store.ArtifactStore` holding campaign/payload
+records, or an experiment ``--json`` payload (envelope schemas 1-6).  A
+row carries
 
 * a content-addressed ``job_id`` (the campaign job id, or a synthesised
   digest for table1 rows) that baseline diffs join on,
@@ -16,7 +18,7 @@ configuration) run, regardless of whether the run came from a campaign
   source records them).
 
 Loading is schema-tolerant: fields newer than the payload simply produce
-rows without those metrics, so schema-1 payloads and schema-5 payloads
+rows without those metrics, so schema-1 payloads and schema-6 payloads
 aggregate side by side.
 
 A tiny in-memory example (runnable)::
@@ -335,9 +337,24 @@ def _campaign_payload_rows(source: str, envelope: dict) -> list[ReportRow]:
     ]
 
 
+def _payload_envelope_rows(label: str, envelope: dict,
+                           origin: str) -> list[ReportRow]:
+    """Rows of one runner payload envelope; raises for row-less payloads."""
+    experiment = envelope.get("experiment")
+    if experiment == "campaign":
+        return _campaign_payload_rows(label, envelope)
+    if experiment == "table1":
+        return _table1_rows(label, envelope)
+    if experiment == "dse":
+        return _dse_rows(label, envelope)
+    raise ValueError(
+        f"cannot build report rows from the {experiment!r} payload in "
+        f"{origin}; supported experiments: campaign, dse, table1")
+
+
 def load_experiment_payload(path: str | Path,
                             source: str | None = None) -> ReportFrame:
-    """Load a runner ``--json`` payload (envelope schemas 1-5) into a frame.
+    """Load a runner ``--json`` payload (envelope schemas 1-6) into a frame.
 
     Supported experiments: ``campaign`` (one row per job, axes from each
     job's config), ``table1`` (one row per benchmark, SDC columns as the
@@ -355,31 +372,68 @@ def load_experiment_payload(path: str | Path,
     if not isinstance(envelope, dict) or "experiment" not in envelope:
         raise ValueError(f"{path} is not a runner --json payload "
                          "(no 'experiment' field)")
-    experiment = envelope["experiment"]
-    if experiment == "campaign":
-        rows = _campaign_payload_rows(label, envelope)
-    elif experiment == "table1":
-        rows = _table1_rows(label, envelope)
-    elif experiment == "dse":
-        rows = _dse_rows(label, envelope)
-    else:
-        raise ValueError(
-            f"cannot build report rows from the {experiment!r} payload in "
-            f"{path}; supported experiments: campaign, dse, table1")
+    rows = _payload_envelope_rows(label, envelope, str(path))
+    rows.sort(key=lambda row: row.job_id)
+    return ReportFrame(rows)
+
+
+def load_artifact_store(path: str | Path,
+                        source: str | None = None) -> ReportFrame:
+    """Load a unified artifact store (:mod:`repro.store`) into a frame.
+
+    Campaign records (``campaign-header`` + ``campaign-job``) become the
+    same rows :func:`load_run_store` produces -- axes re-expanded from each
+    header's spec, ``runtime_s`` from the job bodies; a store holding
+    several campaigns loads them all (job ids are content-addressed, so
+    they cannot collide).  Archived ``payload`` records contribute rows
+    for the row-shaped experiments (campaign/table1/dse); figure payloads
+    and ``synth-eval`` / ``dse-probe`` records carry no per-run rows and
+    are skipped.
+
+    Raises:
+        FileNotFoundError: no file at ``path``.
+        ValueError: mid-file corruption (strict store load).
+    """
+    from repro.store import ArtifactStore
+
+    path = Path(path)
+    label = source if source is not None else path.name
+    store = ArtifactStore.load(path)
+    configs: dict[str, dict] = {}
+    for header in store.kind("campaign-header"):
+        configs.update(_job_configs_from_spec(header.body.get("spec", {})))
+    rows = []
+    for record in store.kind("campaign-job"):
+        body = record.body
+        rows.append(_campaign_row(
+            source=label, job_id=record.key,
+            design=body.get("design", ""),
+            config=configs.get(record.key, {}),
+            result=body.get("result", {}),
+            runtime_s=body.get("runtime_s")))
+    for record in store.kind("payload"):
+        try:
+            rows.extend(_payload_envelope_rows(label, record.body, str(path)))
+        except ValueError:
+            continue  # archived figure/report payloads carry no rows
     rows.sort(key=lambda row: row.job_id)
     return ReportFrame(rows)
 
 
 def load_any(path: str | Path, source: str | None = None) -> ReportFrame:
-    """Load either input kind by sniffing the first line.
+    """Load any supported input kind by sniffing the first line.
 
-    A file whose first line is a ``{"kind": "header", ...}`` record is a
-    campaign RunStore; anything else must be a runner ``--json`` payload.
+    A file whose first line is a legacy ``{"kind": "header", ...}`` record
+    is a pre-unification campaign RunStore; a store envelope (``kind`` /
+    ``key`` / ``schema`` / ``body``) marks a unified artifact store;
+    anything else must be a runner ``--json`` payload.
 
     Raises:
         FileNotFoundError: no file at ``path``.
-        ValueError: neither a run store nor a supported payload.
+        ValueError: neither a store, a run store nor a supported payload.
     """
+    from repro.store import is_store_record
+
     path = Path(path)
     with path.open() as handle:
         first_line = handle.readline()
@@ -387,6 +441,8 @@ def load_any(path: str | Path, source: str | None = None) -> ReportFrame:
         first = json.loads(first_line)
     except json.JSONDecodeError:
         first = None
+    if is_store_record(first):
+        return load_artifact_store(path, source=source)
     if isinstance(first, dict) and first.get("kind") == "header":
         return load_run_store(path, source=source)
     return load_experiment_payload(path, source=source)
@@ -417,6 +473,7 @@ __all__ = [
     "ReportFrame",
     "ReportRow",
     "load_any",
+    "load_artifact_store",
     "load_experiment_payload",
     "load_frames",
     "load_run_store",

@@ -1,0 +1,212 @@
+"""Migration of the three legacy persistence formats into the unified store.
+
+Before the artifact store, three incompatible on-disk formats existed:
+
+1. **Campaign run store, schema 1** -- JSONL with a ``{"kind": "header"}``
+   record followed by ``{"kind": "job"}`` records
+   (pre-unification ``repro/campaign/store.py``).
+2. **Evaluation-cache JSONL** -- one flat record per synthesised subgraph
+   (``key``, ``backend``, report fields; pre-unification
+   ``repro/synth/cache.py``).
+3. **Runner ``--json`` payloads, envelope schemas 1-5** -- one JSON
+   document per runner invocation (:mod:`repro.experiments.serialize`).
+
+:func:`sniff_format` recognises all three plus the unified store itself,
+and :func:`migrate_records` converts any of them into store records:
+
+============================  ==================  =============================
+Legacy format                 Store kind          Key
+============================  ==================  =============================
+run-store header              ``campaign-header`` spec fingerprint
+run-store job record          ``campaign-job``    campaign job id
+cache JSONL record            ``synth-eval``      hash of (backend, fingerprint)
+runner payload (schemas 1-5)  ``payload``         hash of (experiment, data)
+============================  ==================  =============================
+
+Migrated cache records keep the *legacy* backend signature string they were
+written with.  Backends now declare an explicit
+:meth:`~repro.synth.flow.SynthesisFlow.signature` that includes the
+library/delay-model identity the legacy probe silently omitted, so legacy
+records will not be served to the new signatures -- by design: a record
+whose provenance cannot distinguish two differently-characterised libraries
+is exactly the record the signature fix exists to invalidate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.store.jsonl import parse_jsonl_tail
+from repro.store.record import StoreRecord, content_key, is_store_record
+from repro.store.store import ArtifactStore
+
+#: Body schema of campaign records written by the unified store.
+CAMPAIGN_BODY_SCHEMA = 2
+#: Body schema of synthesis-evaluation records.
+SYNTH_EVAL_BODY_SCHEMA = 1
+#: Fields a legacy cache record must carry to migrate.
+_CACHE_FIELDS = ("key", "backend", "name", "delay_ps", "num_gates",
+                 "num_gates_unoptimized", "area_um2")
+
+
+def sniff_format(path: str | Path) -> str | None:
+    """Identify a persistence file: which format wrote it?
+
+    Returns:
+        ``"store"`` (unified artifact store), ``"run-store-v1"`` (legacy
+        campaign store), ``"cache-jsonl"`` (legacy evaluation cache),
+        ``"payload-json"`` (runner ``--json`` payload) or ``None`` when
+        the file is none of these.
+    """
+    path = Path(path)
+    with path.open("rb") as handle:
+        head = handle.read(65536)
+    first_line = head.split(b"\n", 1)[0].strip()
+    try:
+        first = json.loads(first_line)
+    except json.JSONDecodeError:
+        first = None
+    if is_store_record(first):
+        return "store"
+    if isinstance(first, dict):
+        if first.get("kind") == "header" and "fingerprint" in first:
+            return "run-store-v1"
+        if all(field in first for field in _CACHE_FIELDS):
+            return "cache-jsonl"
+    # A payload is one (possibly multi-line, indented) JSON document.
+    try:
+        document = json.loads(path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if isinstance(document, dict) and "experiment" in document \
+            and "data" in document:
+        return "payload-json"
+    return None
+
+
+def campaign_header_record(header_body: dict) -> StoreRecord:
+    """Store record for a campaign header body (name/fingerprint/spec)."""
+    return StoreRecord(kind="campaign-header",
+                       key=header_body["fingerprint"],
+                       schema=CAMPAIGN_BODY_SCHEMA, body=header_body)
+
+
+def campaign_job_record(job_id: str, body: dict) -> StoreRecord:
+    """Store record for one completed campaign job."""
+    return StoreRecord(kind="campaign-job", key=job_id,
+                       schema=CAMPAIGN_BODY_SCHEMA, body=body)
+
+
+def synth_eval_key(backend_signature: str, fingerprint: str) -> str:
+    """Content key of one (backend configuration, subgraph) evaluation."""
+    return content_key({"backend": backend_signature,
+                        "fingerprint": fingerprint})
+
+
+def payload_key(envelope: dict) -> str:
+    """Content key of a runner payload (experiment name + data body)."""
+    return content_key({"experiment": envelope.get("experiment"),
+                        "data": envelope.get("data")})
+
+
+def payload_record(envelope: dict) -> StoreRecord:
+    """Store record archiving one runner ``--json`` payload envelope."""
+    return StoreRecord(kind="payload", key=payload_key(envelope),
+                       schema=int(envelope.get("schema", 0)), body=envelope)
+
+
+def _migrate_run_store_v1(path: Path) -> list[StoreRecord]:
+    records, _, _, _ = parse_jsonl_tail(path, tolerant=False)
+    out: list[StoreRecord] = []
+    for entry in records:
+        kind = entry.get("kind")
+        if kind == "header":
+            body = {"name": entry.get("name"),
+                    "fingerprint": entry.get("fingerprint"),
+                    "num_jobs": entry.get("num_jobs"),
+                    "spec": entry.get("spec", {})}
+            out.append(campaign_header_record(body))
+        elif kind == "job" and "job_id" in entry:
+            body = {"design": entry.get("design"),
+                    "result": entry.get("result", {}),
+                    "runtime_s": entry.get("runtime_s")}
+            out.append(campaign_job_record(entry["job_id"], body))
+    return out
+
+
+def _migrate_cache_jsonl(path: Path) -> list[StoreRecord]:
+    records, _, _, _ = parse_jsonl_tail(path, tolerant=True)
+    out: list[StoreRecord] = []
+    for entry in records:
+        if not all(field in entry for field in _CACHE_FIELDS):
+            continue
+        fingerprint = entry["key"]
+        backend = entry["backend"]
+        body = {"fingerprint": fingerprint, "backend": backend}
+        for field in ("name", "delay_ps", "num_gates",
+                      "num_gates_unoptimized", "area_um2", "aig_depth",
+                      "node_ids"):
+            body[field] = entry.get(field)
+        out.append(StoreRecord(kind="synth-eval",
+                               key=synth_eval_key(backend, fingerprint),
+                               schema=SYNTH_EVAL_BODY_SCHEMA, body=body))
+    return out
+
+
+def migrate_records(path: str | Path) -> tuple[str, list[StoreRecord]]:
+    """Convert one persistence file into unified store records.
+
+    Returns:
+        ``(detected format, records)``.  A unified store file round-trips
+        to its own records.
+
+    Raises:
+        ValueError: unrecognised file format, or corruption.
+    """
+    path = Path(path)
+    detected = sniff_format(path)
+    if detected == "store":
+        return detected, list(ArtifactStore.load(path).records.values())
+    if detected == "run-store-v1":
+        return detected, _migrate_run_store_v1(path)
+    if detected == "cache-jsonl":
+        return detected, _migrate_cache_jsonl(path)
+    if detected == "payload-json":
+        return detected, [payload_record(json.loads(path.read_text()))]
+    raise ValueError(
+        f"{path} is not a recognised persistence file (expected a unified "
+        "store, a legacy campaign run store, a legacy cache JSONL or a "
+        "runner --json payload)")
+
+
+def migrate_file(source: str | Path, destination: str | Path
+                 ) -> tuple[str, int]:
+    """Migrate one legacy file into a (possibly existing) store file.
+
+    Records already present in the destination (same ``(kind, key)``) are
+    kept as-is, so migration is idempotent and several legacy files can
+    fold into one store.
+
+    Returns:
+        ``(detected source format, records appended)``.
+    """
+    detected, records = migrate_records(source)
+    store = ArtifactStore(destination).open_for_append()
+    added = store.put_many(
+        [record for record in records if record.identity not in store])
+    return detected, added
+
+
+__all__ = [
+    "CAMPAIGN_BODY_SCHEMA",
+    "SYNTH_EVAL_BODY_SCHEMA",
+    "campaign_header_record",
+    "campaign_job_record",
+    "migrate_file",
+    "migrate_records",
+    "payload_key",
+    "payload_record",
+    "sniff_format",
+    "synth_eval_key",
+]

@@ -1,0 +1,130 @@
+"""The unified store record envelope and its content-addressed key space.
+
+Every artefact the reproduction persists -- campaign checkpoints, synthesis
+evaluations, experiment payloads, DSE probes -- is one JSON record with the
+same four-field envelope::
+
+    {"kind": "<kind>", "key": "<content hash>", "schema": N, "body": {...}}
+
+``kind`` names the record family (:data:`STORE_KINDS`), ``key`` is the
+content hash the record is addressed by (a campaign job id, a subgraph
+structural fingerprint paired with the backend signature, a payload digest,
+or a DSE probe key), ``schema`` versions the *body* of that kind, and
+``body`` carries the artefact itself.  An optional fifth field ``t`` (epoch
+seconds) may ride on the envelope for age-based garbage collection; it is
+never part of the record's identity and deterministic consumers ignore it.
+
+Keys are produced by :func:`content_key`: the first 32 hex characters of the
+SHA-256 of the canonical JSON of the identifying payload -- the same scheme
+campaign job ids have always used, so every key space is stable across
+processes, machines and ``PYTHONHASHSEED`` values.
+
+    >>> content_key({"design": "rrot", "config": {}})  # doctest: +ELLIPSIS
+    '...'
+    >>> len(content_key({"a": 1})) == KEY_BYTES * 2
+    True
+    >>> record = StoreRecord(kind="payload", key=content_key({"x": 1}),
+    ...                      schema=1, body={"x": 1})
+    >>> StoreRecord.from_dict(record.to_dict()) == record
+    True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Record families the store knows about.  The store itself is
+#: kind-agnostic (any string is accepted); this tuple documents the kinds
+#: the rest of the system reads and writes.
+STORE_KINDS = (
+    "campaign-header",  # one per campaign: spec + fingerprint (key = fingerprint)
+    "campaign-job",     # one per completed job (key = content-addressed job id)
+    "synth-eval",       # one per synthesised subgraph (key = fingerprint x backend)
+    "payload",          # one per runner --json payload (key = payload digest)
+    "dse-probe",        # one per DSE probe outcome (key = probe key)
+)
+
+#: Bytes of SHA-256 kept in a content key (hex length is twice this).
+KEY_BYTES = 16
+
+
+def canonical_json(payload: Any) -> str:
+    """The canonical JSON form content keys are computed over."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_key(payload: Any) -> str:
+    """Content-addressed key of a JSON-serialisable payload.
+
+    The first ``KEY_BYTES`` bytes (hex) of the SHA-256 of the canonical
+    JSON -- independent of dict insertion order, hash seeds and platform.
+    """
+    digest = hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+    return digest[:KEY_BYTES * 2]
+
+
+@dataclass(frozen=True)
+class StoreRecord:
+    """One artefact in the unified store.
+
+    Attributes:
+        kind: record family (see :data:`STORE_KINDS`).
+        key: content-addressed identity within the kind's key space.
+        schema: body schema version of this kind.
+        body: the artefact payload (plain JSON-serialisable data).
+        t: optional epoch-seconds timestamp for age-based GC; never part
+            of the record's identity.
+    """
+
+    kind: str
+    key: str
+    schema: int
+    body: dict = field(default_factory=dict)
+    t: float | None = None
+
+    @property
+    def identity(self) -> tuple[str, str]:
+        """The ``(kind, key)`` pair records are addressed by."""
+        return (self.kind, self.key)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (the envelope exactly as it appears on disk)."""
+        envelope: dict = {"kind": self.kind, "key": self.key,
+                          "schema": self.schema, "body": self.body}
+        if self.t is not None:
+            envelope["t"] = self.t
+        return envelope
+
+    def to_line(self) -> str:
+        """One JSONL line (newline included), ready to append."""
+        return json.dumps(self.to_dict()) + "\n"
+
+    @classmethod
+    def from_dict(cls, envelope: dict) -> "StoreRecord":
+        """Parse an envelope dict back into a record.
+
+        Raises:
+            ValueError: the dict is not a well-formed store envelope.
+        """
+        if not is_store_record(envelope):
+            raise ValueError(
+                f"not a store record envelope: {envelope!r:.120}")
+        return cls(kind=envelope["kind"], key=envelope["key"],
+                   schema=int(envelope["schema"]),
+                   body=envelope["body"], t=envelope.get("t"))
+
+
+def is_store_record(obj: Any) -> bool:
+    """Whether ``obj`` is a well-formed store record envelope."""
+    return (isinstance(obj, dict)
+            and isinstance(obj.get("kind"), str) and bool(obj.get("kind"))
+            and isinstance(obj.get("key"), str) and bool(obj.get("key"))
+            and isinstance(obj.get("schema"), int)
+            and isinstance(obj.get("body"), dict))
+
+
+__all__ = ["KEY_BYTES", "STORE_KINDS", "StoreRecord", "canonical_json",
+           "content_key", "is_store_record"]

@@ -152,6 +152,16 @@ class EstimatorBackend:
         self.library = library or sky130_library()
         self.model = OperatorModel(self.library, pessimism=pessimism)
 
+    def signature(self) -> str:
+        """Configuration identity of this backend, for persisted-result keys.
+
+        Estimator figures must never be served as synthesis figures (or
+        vice versa), so the family tag differs from the synthesis flow's;
+        the delay-model signature carries the formula version, guard band
+        and the library's content identity.
+        """
+        return f"EstimatorBackend({self.model.signature()})"
+
     def evaluate_subgraph(self, graph: DataflowGraph, node_ids: Iterable[int],
                           name: str = "") -> SynthesisReport:
         """Longest-path delay estimate of the induced subgraph.

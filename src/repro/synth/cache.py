@@ -8,31 +8,48 @@ subgraph (op kinds, widths, attributes, edges and boundary -- see
 identical block even across distinct graphs, distinct node ids, or graphs
 that happen to share a name.
 
-An optional on-disk layer (append-only JSON lines) makes repeated experiment
-runs warm: pass ``disk_path`` and every fresh evaluation is persisted, every
-future cache construction pre-loads it.
+An optional on-disk layer makes repeated experiment runs warm: pass
+``disk_path`` (or a shared :class:`~repro.store.ArtifactStore` via ``store``)
+and every fresh evaluation is persisted as a ``synth-eval`` artifact-store
+record, every future cache construction pre-loads matching records.  Records
+are scoped by the backend's configuration signature
+(:func:`backend_signature`): an estimator's guesses are never served as STA
+numbers and two differently-characterised libraries never share records.
 """
 
 from __future__ import annotations
 
-import json
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.ir.graph import DataflowGraph
+from repro.store import (SYNTH_EVAL_BODY_SCHEMA, ArtifactStore, StoreRecord,
+                         synth_eval_key)
 from repro.synth.fingerprint import subgraph_fingerprint
 from repro.synth.report import SynthesisReport
 
 
-def _backend_signature(backend) -> str:
-    """Configuration signature of a backend, for disk-cache compatibility.
+def backend_signature(backend) -> str:
+    """Configuration signature of a backend, for persisted-record scoping.
 
     Reports persisted by one backend configuration must never be served to a
-    differently-configured one (an estimator's guesses are not STA numbers,
-    an unoptimised flow's delays are not an optimised flow's), so every disk
-    record carries this signature and mismatching records are skipped on load.
+    differently-configured one, so every disk record carries this signature
+    and mismatching records are skipped on load.
+
+    Backends declare their own identity via an explicit ``signature()``
+    method (see :meth:`~repro.synth.flow.SynthesisFlow.signature`), which is
+    expected to cover everything that changes reported numbers -- including
+    the *content* identity of the technology library / delay model, which
+    the old attribute-probing fallback silently conflated across
+    characterisations.  The fallback below remains only for third-party
+    backends that predate the protocol; it now at least appends the
+    library's content signature when one is available.
     """
+    declared = getattr(backend, "signature", None)
+    if callable(declared):
+        return declared()
     parts = [type(backend).__name__]
     for attribute in ("optimize", "compute_aig", "pessimism"):
         if hasattr(backend, attribute):
@@ -42,8 +59,15 @@ def _backend_signature(backend) -> str:
         parts.append(f"balance={optimizer.balance}")
     library = getattr(backend, "library", None)
     if library is not None:
-        parts.append(f"library={getattr(library, 'name', type(library).__name__)}")
+        content = getattr(library, "signature", None)
+        label = content() if callable(content) else \
+            getattr(library, "name", type(library).__name__)
+        parts.append(f"library={label}")
     return ",".join(parts)
+
+
+#: Deprecated alias kept for code written against the pre-store cache.
+_backend_signature = backend_signature
 
 
 @dataclass
@@ -79,15 +103,24 @@ class EvaluationCache:
         backend: the downstream flow used on cache misses; anything
             satisfying :class:`~repro.synth.backend.FlowBackend` (including a
             plain :class:`~repro.synth.flow.SynthesisFlow`).
-        disk_path: optional path to a JSON-lines cache file.  Existing
-            entries are pre-loaded; fresh evaluations are appended.
+        disk_path: optional path to an artifact-store file.  Existing
+            ``synth-eval`` records under this backend's signature are
+            pre-loaded; fresh evaluations are appended.  The file is opened
+            tolerantly: corrupt or foreign-format lines degrade to a cold
+            cache, never to a failed run.
+        store: an already-open :class:`~repro.store.ArtifactStore` to share
+            (e.g. one file holding campaign records and evaluations);
+            mutually exclusive with ``disk_path``.
 
     Attributes:
         backend: the wrapped flow backend.
         stats: hit/miss counters.
     """
 
-    def __init__(self, backend, disk_path: str | Path | None = None) -> None:
+    def __init__(self, backend, disk_path: str | Path | None = None,
+                 store: ArtifactStore | None = None) -> None:
+        if disk_path is not None and store is not None:
+            raise ValueError("pass disk_path or store, not both")
         self.backend = backend
         self.stats = CacheStatistics()
         self._entries: dict[str, SynthesisReport] = {}
@@ -95,8 +128,14 @@ class EvaluationCache:
         # from them is visible in the accounting (stats.disk_hits) instead of
         # masquerading as a synthesis run.
         self._disk_entries: dict[str, SynthesisReport] = {}
-        self._disk_path = Path(disk_path) if disk_path is not None else None
-        self._backend_key = _backend_signature(backend)
+        self._backend_key = backend_signature(backend)
+        if store is not None:
+            self._store: ArtifactStore | None = store
+        elif disk_path is not None:
+            self._store = ArtifactStore(disk_path).open_for_append(
+                tolerant=True)
+        else:
+            self._store = None
         self._load_disk()
 
     # -------------------------------------------------------------- evaluate
@@ -163,37 +202,41 @@ class EvaluationCache:
     # ------------------------------------------------------------ disk layer
 
     def _load_disk(self) -> None:
-        if self._disk_path is None or not self._disk_path.exists():
+        """Warm the second-level dict from the store's ``synth-eval`` records.
+
+        Only records written under *this* backend's signature are loaded;
+        records from other configurations (or legacy records whose old-style
+        signature can no longer match any current backend) stay on disk,
+        ignored.  Malformed bodies are skipped, never fatal.
+        """
+        if self._store is None:
             return
-        for line in self._disk_path.read_text().splitlines():
-            line = line.strip()
-            if not line:
-                continue
+        for record in self._store.kind("synth-eval"):
+            body = record.body
+            if body.get("backend") != self._backend_key:
+                continue  # persisted by a differently-configured backend
             try:
-                record = json.loads(line)
-                if record.get("backend") != self._backend_key:
-                    continue  # persisted by a differently-configured backend
                 report = SynthesisReport(
-                    name=record["name"],
-                    delay_ps=float(record["delay_ps"]),
-                    num_gates=int(record["num_gates"]),
-                    num_gates_unoptimized=int(record["num_gates_unoptimized"]),
-                    area_um2=float(record["area_um2"]),
-                    aig_depth=record.get("aig_depth"),
-                    node_ids=tuple(record.get("node_ids", ())),
+                    name=body["name"],
+                    delay_ps=float(body["delay_ps"]),
+                    num_gates=int(body["num_gates"]),
+                    num_gates_unoptimized=int(body["num_gates_unoptimized"]),
+                    area_um2=float(body["area_um2"]),
+                    aig_depth=body.get("aig_depth"),
+                    node_ids=tuple(body.get("node_ids") or ()),
                 )
-                key = record["key"]
-            except (KeyError, TypeError, ValueError, json.JSONDecodeError):
-                continue  # skip corrupt lines rather than fail the run
-            if key not in self._disk_entries:
-                self._disk_entries[key] = report
+                fingerprint = body["fingerprint"]
+            except (KeyError, TypeError, ValueError):
+                continue  # skip malformed bodies rather than fail the run
+            if fingerprint not in self._disk_entries:
+                self._disk_entries[fingerprint] = report
                 self.stats.disk_loaded += 1
 
     def _store_disk(self, key: str, report: SynthesisReport) -> None:
-        if self._disk_path is None:
+        if self._store is None:
             return
-        record = {
-            "key": key,
+        body = {
+            "fingerprint": key,
             "backend": self._backend_key,
             "name": report.name,
             "delay_ps": report.delay_ps,
@@ -203,9 +246,12 @@ class EvaluationCache:
             "aig_depth": report.aig_depth,
             "node_ids": list(report.node_ids),
         }
-        self._disk_path.parent.mkdir(parents=True, exist_ok=True)
-        with self._disk_path.open("a") as handle:
-            handle.write(json.dumps(record) + "\n")
+        self._store.put(StoreRecord(
+            kind="synth-eval",
+            key=synth_eval_key(self._backend_key, key),
+            schema=SYNTH_EVAL_BODY_SCHEMA,
+            body=body,
+            t=time.time()))
 
     # -------------------------------------------------------------- plumbing
 
@@ -220,7 +266,7 @@ class EvaluationCache:
     def clear(self) -> None:
         """Drop all cached entries and reset statistics.
 
-        The disk file and the records pre-loaded from it are untouched, so
+        The disk store and the records pre-loaded from it are untouched, so
         lookups after a clear can still be answered by the disk layer.
         """
         self._entries.clear()

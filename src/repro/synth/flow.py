@@ -37,6 +37,27 @@ class SynthesisFlow:
         self._optimizer = LogicOptimizer(self.library, balance=balance)
         self._sta = StaticTimingAnalysis(self.library)
 
+    def signature(self) -> str:
+        """Configuration identity of this flow, for persisted-result keys.
+
+        Every knob that changes reported numbers is included -- the flow
+        family, the optimiser settings and the *content* signature of the
+        technology library (:meth:`~repro.tech.library.TechLibrary.signature`),
+        so two differently-characterised libraries can never share disk
+        records even when they share a name.  Parallelism knobs (worker
+        counts) are deliberately excluded, and the family tag is the fixed
+        string ``SynthesisFlow`` rather than the concrete class:
+        :class:`~repro.synth.backend.LocalSynthesisBackend` is bit-identical
+        to the serial flow, so the two legitimately share persisted
+        results.  A subclass that changes reported numbers must override
+        this method.
+        """
+        return ("SynthesisFlow("
+                f"optimize={self.optimize},"
+                f"balance={self._optimizer.balance},"
+                f"compute_aig={self.compute_aig},"
+                f"library={self.library.signature()})")
+
     def evaluate_subgraph(self, graph: DataflowGraph, node_ids: Iterable[int],
                           name: str = "") -> SynthesisReport:
         """Synthesise the induced subgraph over ``node_ids`` and report timing.

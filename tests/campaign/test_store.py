@@ -26,9 +26,89 @@ def test_fresh_store_writes_header(tmp_path):
     store = RunStore(tmp_path / "run.jsonl")
     store.open(spec)
     header = json.loads((tmp_path / "run.jsonl").read_text().splitlines()[0])
-    assert header["kind"] == "header"
-    assert header["fingerprint"] == spec.fingerprint()
-    assert header["num_jobs"] == len(spec.jobs())
+    assert header["kind"] == "campaign-header"
+    assert header["key"] == spec.fingerprint()
+    assert header["body"]["fingerprint"] == spec.fingerprint()
+    assert header["body"]["num_jobs"] == len(spec.jobs())
+
+
+def _legacy_store_file(path, spec, jobs_with_results):
+    """Write a pre-unification schema-1 run store file."""
+    lines = [json.dumps({
+        "kind": "header", "schema": 1, "name": spec.name,
+        "fingerprint": spec.fingerprint(), "num_jobs": len(spec.jobs()),
+        "spec": spec.to_dict()})]
+    for job, result in jobs_with_results:
+        lines.append(json.dumps({
+            "kind": "job", "job_id": job.job_id, "design": job.design,
+            "result": result, "runtime_s": 0.25}))
+    path.write_text("\n".join(lines) + "\n")
+
+
+def test_legacy_schema1_store_loads_readonly(tmp_path):
+    spec = _spec()
+    path = tmp_path / "legacy.jsonl"
+    jobs = spec.jobs()
+    _legacy_store_file(path, spec, [(job, _fake_result(job))
+                                    for job in jobs[:2]])
+    before = path.read_bytes()
+    store = RunStore.load(path)
+    assert store.header["fingerprint"] == spec.fingerprint()
+    assert store.completed == {jobs[0].job_id, jobs[1].job_id}
+    assert store.results[jobs[0].job_id]["result"] == _fake_result(jobs[0])
+    assert path.read_bytes() == before  # analysis never modifies the file
+
+
+def test_legacy_schema1_store_resumes_via_migration(tmp_path):
+    spec = _spec()
+    path = tmp_path / "legacy.jsonl"
+    jobs = spec.jobs()
+    _legacy_store_file(path, spec, [(job, _fake_result(job))
+                                    for job in jobs[:2]])
+    resumed = RunStore(path)
+    resumed.open(spec, resume=True)
+    assert resumed.completed == {jobs[0].job_id, jobs[1].job_id}
+    assert resumed.missing(spec) == jobs[2:]
+    # The file is now in the unified format and keeps working.
+    first = json.loads(path.read_text().splitlines()[0])
+    assert first["kind"] == "campaign-header"
+    resumed.record(jobs[2], _fake_result(jobs[2]), runtime_s=0.1)
+    reread = RunStore.load(path)
+    assert reread.completed == {job.job_id for job in jobs[:3]}
+
+
+def test_legacy_resume_still_rejects_a_different_campaign(tmp_path):
+    spec = _spec()
+    path = tmp_path / "legacy.jsonl"
+    _legacy_store_file(path, spec, [])
+    with pytest.raises(StoreMismatchError):
+        RunStore(path).open(_spec(max_iterations=3), resume=True)
+
+
+def test_final_payload_survives_compaction(tmp_path):
+    from repro.store import ArtifactStore
+
+    spec = _spec()
+    path = tmp_path / "run.jsonl"
+    store = RunStore(path)
+    store.open(spec)
+    jobs = spec.jobs()
+    for job in jobs:
+        store.record(job, _fake_result(job), runtime_s=0.5)
+    # Duplicate a checkpoint (a resumed worker re-recording) to give the
+    # compactor something to drop.
+    store.record(jobs[0], _fake_result(jobs[0]), runtime_s=0.9)
+    payload = store.final_payload(spec)
+
+    compactor = ArtifactStore(path).open_for_append()
+    report = compactor.compact()
+    assert report.dropped == 1
+
+    resumed = RunStore(path)
+    resumed.open(spec, resume=True)
+    assert resumed.missing(spec) == []
+    assert json.dumps(resumed.final_payload(spec), sort_keys=True) == \
+        json.dumps(payload, sort_keys=True)
 
 
 def test_records_append_and_reload(tmp_path):

@@ -17,7 +17,7 @@ SMALL = ("gen:seed=9,depth=5,width=3,fanout=2,bits=8,inputs=3,"
 
 def dse_envelope(min_clock_ps: float, design: str = SMALL,
                  warm_hit_rate: float = 0.5) -> dict:
-    """A minimal schema-5 dse envelope for loader/diff tests."""
+    """A minimal dse envelope (current schema) for loader/diff tests."""
     return {
         "schema": SCHEMA_VERSION, "experiment": "dse", "quick": False,
         "jobs": 1, "solver": "full", "elapsed_s": 0.1,
@@ -55,6 +55,37 @@ class TestDseCommand:
         assert periods == sorted(periods)
         assert "solve_time_s" not in design["probes"][0]
 
+    def test_store_flag_archives_probes_and_payload(self, tmp_path, capsys):
+        from repro.dse.search import probe_key
+        from repro.store import ArtifactStore
+
+        store_path = tmp_path / "dse-store.jsonl"
+        assert main(["dse", "--designs", SMALL, "--resolution-ps", "50",
+                     "--store", str(store_path)]) == 0
+        capsys.readouterr()
+        store = ArtifactStore.load(store_path)
+        kinds = store.kinds()
+        assert kinds["payload"] == 1
+        assert kinds["dse-probe"] >= 2
+        probe = next(iter(store.kind("dse-probe")))
+        body = probe.body
+        assert probe.key == probe_key(body["design"], body["mode"],
+                                      body["clock_period_ps"],
+                                      body["max_stages"])
+        # Probe bodies are deterministic: no provenance or wall clock.
+        assert "solve_time_s" not in body and "elapsed_s" not in body
+        # Re-running the same search supersedes its probes, never
+        # duplicates them (payload records are content-addressed over
+        # their data, which includes wall-clock fields, so those may
+        # legitimately differ between runs).
+        assert main(["dse", "--designs", SMALL, "--resolution-ps", "50",
+                     "--store", str(store_path)]) == 0
+        capsys.readouterr()
+        rerun = ArtifactStore(store_path).open_for_append()
+        report = rerun.compact()
+        assert report.kinds["dse-probe"] == kinds["dse-probe"]
+        assert report.dropped >= kinds["dse-probe"]
+
     def test_pareto_mode_prints_front(self, capsys):
         assert main(["dse", "--designs", SMALL, "--mode", "pareto",
                      "--points", "5"]) == 0
@@ -89,7 +120,7 @@ class TestSerializeAndReportWiring:
 
         result = run_dse([SMALL], resolution_ps=100.0)
         payload = experiment_payload("dse", result)
-        assert payload["schema"] == SCHEMA_VERSION == 5
+        assert payload["schema"] == SCHEMA_VERSION == 6
         assert payload["data"]["designs"][0]["design"] == SMALL
 
     def test_frame_loads_dse_payload(self, tmp_path):

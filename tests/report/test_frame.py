@@ -122,6 +122,60 @@ class TestPayloadLoading:
             load_experiment_payload(path)
 
 
+class TestArtifactStoreLoading:
+    def test_unified_store_loads_like_a_run_store(self, store_path):
+        from repro.report.frame import load_artifact_store
+
+        run_frame = load_run_store(store_path, source="s")
+        store_frame = load_artifact_store(store_path, source="s")
+        assert store_frame.rows == run_frame.rows
+
+    def test_mixed_store_adds_payload_rows_and_skips_other_kinds(
+            self, tmp_path, store_path):
+        from repro.report.frame import load_artifact_store
+        from repro.store import ArtifactStore, StoreRecord, payload_record
+
+        store = ArtifactStore(store_path).open_for_append()
+        num_campaign_rows = len(load_run_store(store_path).rows)
+        store.put(StoreRecord(kind="synth-eval", key="e1", schema=1,
+                              body={"backend": "x", "fingerprint": "fp"}))
+        store.put(payload_record(
+            {"schema": 6, "experiment": "table1",
+             "data": {"rows": [{"benchmark": "crc32",
+                                "clock_period_ps": 1500.0,
+                                "isdc_registers": 12}]}}))
+        store.put(payload_record(
+            {"schema": 6, "experiment": "fig5", "data": {"curves": []}}))
+        frame = load_artifact_store(store_path)
+        assert len(frame.rows) == num_campaign_rows + 1
+        table1_rows = [row for row in frame.rows
+                       if row.axes.get("design") == "crc32"]
+        assert table1_rows[0].metrics["registers_final"] == 12.0
+
+    def test_legacy_run_store_still_loads_through_load_any(self, tmp_path,
+                                                           spec):
+        legacy = tmp_path / "legacy.jsonl"
+        jobs = spec.jobs()
+        lines = [json.dumps({"kind": "header", "schema": 1,
+                             "name": spec.name,
+                             "fingerprint": spec.fingerprint(),
+                             "num_jobs": len(jobs),
+                             "spec": spec.to_dict()})]
+        from tests.report.conftest import synthetic_result
+
+        for job in jobs:
+            lines.append(json.dumps({"kind": "job", "job_id": job.job_id,
+                                     "design": job.design,
+                                     "result": synthetic_result(job),
+                                     "runtime_s": 0.25}))
+        legacy.write_text("\n".join(lines) + "\n")
+        before = legacy.read_bytes()
+        frame = load_any(legacy)
+        assert len(frame.rows) == len(jobs)
+        assert frame.rows[0].axes["design"] == "rrot"
+        assert legacy.read_bytes() == before  # analysis never migrates
+
+
 class TestSniffingAndMerging:
     def test_load_any_detects_both_kinds(self, tmp_path, store_path):
         payload_path = tmp_path / "t1.json"

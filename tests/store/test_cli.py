@@ -1,0 +1,95 @@
+"""Tests of ``runner store``: dispatch and the maintenance subcommands."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import main
+from repro.store import ArtifactStore, StoreRecord
+
+
+def _seeded_store(path, duplicates=0):
+    store = ArtifactStore(path).open_for_append()
+    store.put(StoreRecord(kind="campaign-header", key="f" * 32, schema=2,
+                          body={"fingerprint": "f" * 32, "spec": {}}))
+    store.put(StoreRecord(kind="payload", key="p1", schema=6,
+                          body={"experiment": "dse"}))
+    for version in range(duplicates):
+        store.put(StoreRecord(kind="payload", key="p1", schema=6,
+                              body={"experiment": "dse", "v": version}))
+    return store
+
+
+class TestDispatch:
+    def test_runner_routes_the_store_subcommand(self, tmp_path, capsys):
+        path = tmp_path / "store.jsonl"
+        _seeded_store(path)
+        assert main(["store", "ls", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign-header" in out and "payload" in out
+        assert "2 records" in out
+
+    def test_missing_input_is_a_clean_cli_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["store", "verify", str(tmp_path / "nope.jsonl")])
+
+
+class TestSubcommands:
+    def test_ls_filters_by_kind_and_emits_json(self, tmp_path, capsys):
+        path = tmp_path / "store.jsonl"
+        _seeded_store(path)
+        assert main(["store", "ls", str(path), "--kind", "payload",
+                     "--json"]) == 0
+        lines = [json.loads(line)
+                 for line in capsys.readouterr().out.splitlines()]
+        assert lines == [{"kind": "payload", "key": "p1", "schema": 6}]
+
+    def test_verify_reports_duplicates_and_torn_tail(self, tmp_path, capsys):
+        path = tmp_path / "store.jsonl"
+        _seeded_store(path, duplicates=2)
+        with path.open("a") as handle:
+            handle.write('{"kind": "payload", "key": "to')
+        assert main(["store", "verify", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 records" in out
+        assert "2 superseded duplicates" in out
+        assert "torn tail: yes" in out
+
+    def test_compact_drops_superseded_records(self, tmp_path, capsys):
+        path = tmp_path / "store.jsonl"
+        _seeded_store(path, duplicates=3)
+        assert len(path.read_text().splitlines()) == 5
+        assert main(["store", "compact", str(path)]) == 0
+        assert "dropped 3 superseded records" in capsys.readouterr().out
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_gc_applies_the_retention_policy(self, tmp_path, capsys):
+        path = tmp_path / "store.jsonl"
+        store = _seeded_store(path)
+        for index in range(8):
+            store.put(StoreRecord(kind="synth-eval", key=f"e{index}",
+                                  schema=1, body={}))
+        assert main(["store", "gc", str(path), "--max-records", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "kept 4" in out
+        survivors = ArtifactStore.load(path)
+        assert len(survivors) == 4
+        # The campaign header is pinned against size pressure.
+        assert survivors.get("campaign-header", "f" * 32) is not None
+
+    def test_migrate_folds_legacy_files(self, tmp_path, capsys):
+        legacy = tmp_path / "legacy.jsonl"
+        legacy.write_text(json.dumps(
+            {"kind": "header", "schema": 1, "name": "sweep",
+             "fingerprint": "f" * 32, "num_jobs": 0, "spec": {}}) + "\n")
+        payload = tmp_path / "payload.json"
+        payload.write_text(json.dumps(
+            {"schema": 2, "experiment": "table1", "data": {"rows": []}}))
+        destination = tmp_path / "unified.jsonl"
+        assert main(["store", "migrate", str(legacy), str(payload),
+                     "--into", str(destination)]) == 0
+        out = capsys.readouterr().out
+        assert "run-store-v1 -> 1 records" in out
+        assert "payload-json -> 1 records" in out
+        merged = ArtifactStore.load(destination)
+        assert merged.kinds() == {"campaign-header": 1, "payload": 1}

@@ -1,0 +1,106 @@
+"""Tests for the shared torn-tail JSONL parser and crash-safe appends.
+
+Satellite of the persistence unification: the parser that used to live
+privately in ``repro/campaign/store.py`` is now the one implementation in
+:mod:`repro.store.jsonl`, with the mid-file vs trailing corruption split
+pinned down here.
+"""
+
+import json
+
+import pytest
+
+from repro.store import (append_line, append_lines, parse_jsonl_tail,
+                         truncate_torn_tail)
+
+
+def _lines(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestParseJsonlTail:
+    def test_clean_file_has_no_tail(self, tmp_path):
+        path = tmp_path / "clean.jsonl"
+        path.write_text('{"a": 1}\n{"a": 2}\n')
+        records, complete, tail, skipped = parse_jsonl_tail(path)
+        assert records == [{"a": 1}, {"a": 2}]
+        assert complete == [b'{"a": 1}', b'{"a": 2}']
+        assert tail == b"" and skipped == 0
+
+    def test_unterminated_final_line_is_the_tail(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"a": 1}\n{"a": 2')
+        records, _, tail, _ = parse_jsonl_tail(path)
+        assert records == [{"a": 1}]
+        assert tail == b'{"a": 2}'[:-1]
+
+    def test_corrupt_final_line_with_newline_is_the_tail(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"a": 1}\n{broken}\n')
+        records, complete, tail, _ = parse_jsonl_tail(path)
+        assert records == [{"a": 1}]
+        assert tail == b"{broken}"
+        assert complete == [b'{"a": 1}']
+
+    def test_mid_file_corruption_raises_in_strict_mode(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"a": 1}\n{broken}\n{"a": 3}\n')
+        with pytest.raises(ValueError, match="corrupt at line 2"):
+            parse_jsonl_tail(path)
+
+    def test_mid_file_corruption_is_counted_in_tolerant_mode(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"a": 1}\n{broken}\nnot json either\n{"a": 3}\n')
+        records, _, tail, skipped = parse_jsonl_tail(path, tolerant=True)
+        assert records == [{"a": 1}, {"a": 3}]
+        assert skipped == 2 and tail == b""
+
+    def test_blank_lines_are_ignored_not_corruption(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('{"a": 1}\n\n   \n{"a": 2}\n')
+        records, _, _, skipped = parse_jsonl_tail(path)
+        assert records == [{"a": 1}, {"a": 2}] and skipped == 0
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            parse_jsonl_tail(tmp_path / "nope.jsonl")
+
+
+class TestTruncateTornTail:
+    def test_drops_only_the_torn_bytes(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"a": 1}\n{"a": 2')
+        _, complete, tail, _ = parse_jsonl_tail(path)
+        assert truncate_torn_tail(path, complete, tail)
+        assert path.read_text() == '{"a": 1}\n'
+
+    def test_noop_without_a_tail(self, tmp_path):
+        path = tmp_path / "clean.jsonl"
+        path.write_text('{"a": 1}\n')
+        before = path.read_bytes()
+        _, complete, tail, _ = parse_jsonl_tail(path)
+        assert not truncate_torn_tail(path, complete, tail)
+        assert path.read_bytes() == before
+
+
+class TestAppend:
+    def test_append_creates_parents_and_appends(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "log.jsonl"
+        append_line(path, '{"a": 1}\n')
+        append_line(path, '{"a": 2}\n', fsync=True)
+        assert _lines(path) == [{"a": 1}, {"a": 2}]
+
+    def test_append_lines_batches(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        append_lines(path, ['{"a": 1}\n', '{"a": 2}\n', '{"a": 3}\n'])
+        assert _lines(path) == [{"a": 1}, {"a": 2}, {"a": 3}]
+
+    def test_append_after_truncated_tail_is_clean(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        append_line(path, '{"a": 1}\n')
+        with path.open("a") as handle:
+            handle.write('{"a": 2')  # simulated kill mid-append
+        _, complete, tail, _ = parse_jsonl_tail(path)
+        truncate_torn_tail(path, complete, tail)
+        append_line(path, '{"a": 3}\n')
+        assert _lines(path) == [{"a": 1}, {"a": 3}]

@@ -1,0 +1,166 @@
+"""Tests for legacy-format sniffing and migration into the unified store."""
+
+import json
+
+import pytest
+
+from repro.store import (ArtifactStore, migrate_file, migrate_records,
+                         payload_key, sniff_format, synth_eval_key)
+
+
+def _legacy_run_store(path):
+    lines = [
+        {"kind": "header", "schema": 1, "name": "sweep",
+         "fingerprint": "f" * 32, "num_jobs": 2, "spec": {"name": "sweep"}},
+        {"kind": "job", "job_id": "a" * 32, "design": "rrot",
+         "result": {"final": {"registers": 9}}, "runtime_s": 0.5},
+        {"kind": "job", "job_id": "b" * 32, "design": "crc32",
+         "result": {"final": {"registers": 7}}, "runtime_s": 0.7},
+    ]
+    path.write_text("".join(json.dumps(line) + "\n" for line in lines))
+
+
+def _legacy_cache(path):
+    lines = [
+        {"key": "fp1", "backend": "SynthesisFlow,optimize=True",
+         "name": "sub1", "delay_ps": 100.0, "num_gates": 5,
+         "num_gates_unoptimized": 7, "area_um2": 1.5, "aig_depth": None,
+         "node_ids": [1, 2]},
+        {"key": "fp2", "backend": "SynthesisFlow,optimize=True",
+         "name": "sub2", "delay_ps": 200.0, "num_gates": 9,
+         "num_gates_unoptimized": 9, "area_um2": 2.5, "aig_depth": 4,
+         "node_ids": [3]},
+    ]
+    path.write_text("".join(json.dumps(line) + "\n" for line in lines))
+
+
+def _payload(path):
+    envelope = {"schema": 3, "experiment": "table1", "quick": True,
+                "jobs": 1, "solver": "full", "elapsed_s": 1.0,
+                "data": {"rows": [{"benchmark": "rrot"}]}}
+    path.write_text(json.dumps(envelope, indent=2) + "\n")
+    return envelope
+
+
+class TestSniffFormat:
+    def test_recognises_all_four_formats(self, tmp_path):
+        from repro.store import StoreRecord
+
+        run_store = tmp_path / "run.jsonl"
+        cache = tmp_path / "cache.jsonl"
+        payload = tmp_path / "payload.json"
+        unified = tmp_path / "store.jsonl"
+        _legacy_run_store(run_store)
+        _legacy_cache(cache)
+        _payload(payload)
+        ArtifactStore(unified).open_for_append().put(
+            StoreRecord(kind="payload", key="ab", schema=1, body={}))
+        assert sniff_format(run_store) == "run-store-v1"
+        assert sniff_format(cache) == "cache-jsonl"
+        assert sniff_format(payload) == "payload-json"
+        assert sniff_format(unified) == "store"
+
+    def test_unrecognised_files_sniff_to_none(self, tmp_path):
+        other = tmp_path / "other.txt"
+        other.write_text("just text\n")
+        assert sniff_format(other) is None
+
+
+class TestMigrateRecords:
+    def test_run_store_v1_becomes_campaign_records(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _legacy_run_store(path)
+        detected, records = migrate_records(path)
+        assert detected == "run-store-v1"
+        kinds = [record.kind for record in records]
+        assert kinds == ["campaign-header", "campaign-job", "campaign-job"]
+        header = records[0]
+        assert header.key == "f" * 32
+        assert header.body["num_jobs"] == 2
+        job = records[1]
+        assert job.key == "a" * 32
+        assert job.body == {"design": "rrot",
+                            "result": {"final": {"registers": 9}},
+                            "runtime_s": 0.5}
+
+    def test_cache_jsonl_becomes_synth_eval_records(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        _legacy_cache(path)
+        detected, records = migrate_records(path)
+        assert detected == "cache-jsonl"
+        assert all(record.kind == "synth-eval" for record in records)
+        first = records[0]
+        assert first.key == synth_eval_key("SynthesisFlow,optimize=True",
+                                           "fp1")
+        assert first.body["fingerprint"] == "fp1"
+        assert first.body["delay_ps"] == 100.0
+
+    def test_payload_becomes_one_payload_record(self, tmp_path):
+        path = tmp_path / "payload.json"
+        envelope = _payload(path)
+        detected, records = migrate_records(path)
+        assert detected == "payload-json"
+        assert len(records) == 1
+        assert records[0].kind == "payload"
+        assert records[0].key == payload_key(envelope)
+        assert records[0].body == envelope
+
+    def test_unified_store_round_trips(self, tmp_path):
+        cache = tmp_path / "cache.jsonl"
+        _legacy_cache(cache)
+        _, cache_records = migrate_records(cache)
+        path = tmp_path / "store.jsonl"
+        store = ArtifactStore(path).open_for_append()
+        store.put_many(cache_records)
+        detected, records = migrate_records(path)
+        assert detected == "store"
+        assert records == list(store.records.values())
+
+    def test_unrecognised_file_raises(self, tmp_path):
+        path = tmp_path / "other.txt"
+        path.write_text("just text\n")
+        with pytest.raises(ValueError, match="not a recognised"):
+            migrate_records(path)
+
+
+class TestMigrateFile:
+    def test_folds_all_three_legacy_formats_into_one_store(self, tmp_path):
+        run_store = tmp_path / "run.jsonl"
+        cache = tmp_path / "cache.jsonl"
+        payload = tmp_path / "payload.json"
+        _legacy_run_store(run_store)
+        _legacy_cache(cache)
+        _payload(payload)
+        destination = tmp_path / "unified.jsonl"
+        total = 0
+        for source in (run_store, cache, payload):
+            _, added = migrate_file(source, destination)
+            total += added
+        assert total == 6
+        merged = ArtifactStore.load(destination)
+        assert merged.kinds() == {"campaign-header": 1, "campaign-job": 2,
+                                  "synth-eval": 2, "payload": 1}
+
+    def test_migration_is_idempotent(self, tmp_path):
+        source = tmp_path / "run.jsonl"
+        _legacy_run_store(source)
+        destination = tmp_path / "unified.jsonl"
+        _, first = migrate_file(source, destination)
+        _, second = migrate_file(source, destination)
+        assert first == 3 and second == 0
+        assert len(ArtifactStore.load(destination)) == 3
+
+    def test_destination_wins_on_duplicate_identities(self, tmp_path):
+        from repro.store import campaign_job_record
+
+        source = tmp_path / "run.jsonl"
+        _legacy_run_store(source)
+        destination = tmp_path / "unified.jsonl"
+        existing = ArtifactStore(destination).open_for_append()
+        existing.put(campaign_job_record("a" * 32, {"design": "rrot",
+                                                    "result": {"kept": True},
+                                                    "runtime_s": 0.0}))
+        migrate_file(source, destination)
+        merged = ArtifactStore.load(destination)
+        assert merged.get("campaign-job", "a" * 32).body["result"] == \
+            {"kept": True}

@@ -1,0 +1,72 @@
+"""Tests for the store record envelope and the content-key scheme."""
+
+import json
+
+import pytest
+
+from repro.store import (KEY_BYTES, StoreRecord, canonical_json, content_key,
+                         is_store_record)
+
+
+class TestContentKey:
+    def test_key_is_hex_of_fixed_length(self):
+        key = content_key({"design": "rrot", "config": {"m": 8}})
+        assert len(key) == KEY_BYTES * 2
+        int(key, 16)  # raises if not hex
+
+    def test_key_is_insertion_order_independent(self):
+        assert content_key({"a": 1, "b": 2}) == content_key({"b": 2, "a": 1})
+
+    def test_key_is_value_sensitive(self):
+        assert content_key({"a": 1}) != content_key({"a": 2})
+
+    def test_matches_campaign_job_id_scheme(self):
+        """Store keys use the exact digest scheme campaign job ids use."""
+        import hashlib
+
+        payload = {"design": "rrot", "config": {"clock_period_ps": 1000}}
+        expected = hashlib.sha256(
+            json.dumps(payload, sort_keys=True,
+                       separators=(",", ":")).encode()).hexdigest()[:32]
+        assert content_key(payload) == expected
+
+    def test_canonical_json_has_no_whitespace(self):
+        assert " " not in canonical_json({"a": [1, 2], "b": {"c": 3}})
+
+
+class TestStoreRecord:
+    def test_round_trips_through_dict_and_line(self):
+        record = StoreRecord(kind="payload", key=content_key({"x": 1}),
+                             schema=3, body={"x": 1})
+        assert StoreRecord.from_dict(record.to_dict()) == record
+        assert StoreRecord.from_dict(json.loads(record.to_line())) == record
+
+    def test_timestamp_rides_on_the_envelope_but_not_identity(self):
+        plain = StoreRecord(kind="payload", key="ab", schema=1, body={})
+        stamped = StoreRecord(kind="payload", key="ab", schema=1, body={},
+                              t=123.5)
+        assert "t" not in plain.to_dict()
+        assert stamped.to_dict()["t"] == 123.5
+        assert plain.identity == stamped.identity
+
+    def test_from_dict_rejects_malformed_envelopes(self):
+        with pytest.raises(ValueError, match="not a store record"):
+            StoreRecord.from_dict({"kind": "payload", "key": "ab"})
+
+    @pytest.mark.parametrize("envelope", [
+        None,
+        [],
+        {"kind": "payload", "key": "ab", "schema": 1},        # no body
+        {"kind": "payload", "key": "", "schema": 1, "body": {}},
+        {"kind": "", "key": "ab", "schema": 1, "body": {}},
+        {"kind": "payload", "key": "ab", "schema": "1", "body": {}},
+        {"kind": "header", "fingerprint": "ab"},              # legacy campaign
+        {"key": "ab", "backend": "x", "name": "n"},           # legacy cache
+    ])
+    def test_is_store_record_rejects(self, envelope):
+        assert not is_store_record(envelope)
+
+    def test_is_store_record_accepts_unknown_kinds(self):
+        """The store is kind-agnostic; STORE_KINDS is documentation."""
+        assert is_store_record({"kind": "future-kind", "key": "ab",
+                                "schema": 9, "body": {"v": 1}})

@@ -1,5 +1,7 @@
 """Tests for the subgraph evaluation cache."""
 
+import pytest
+
 from repro.ir.builder import GraphBuilder
 from repro.synth.backend import LocalSynthesisBackend
 from repro.synth.cache import EvaluationCache
@@ -164,3 +166,112 @@ def test_disk_layer_skips_corrupt_lines(adder_chain_graph, library, tmp_path):
     assert cache.stats.disk_loaded == 0
     names = {n.name: n.node_id for n in adder_chain_graph.nodes()}
     assert cache.evaluate(adder_chain_graph, [names["s1"]]).delay_ps > 0
+
+
+def test_disk_records_are_store_envelopes(adder_chain_graph, library,
+                                          tmp_path):
+    """The cache's disk layer writes unified synth-eval store records."""
+    import json
+
+    from repro.store import synth_eval_key
+    from repro.synth.cache import backend_signature
+
+    path = tmp_path / "evals.jsonl"
+    flow = SynthesisFlow(library)
+    cache = EvaluationCache(flow, disk_path=path)
+    names = {n.name: n.node_id for n in adder_chain_graph.nodes()}
+    cache.evaluate(adder_chain_graph, [names["s1"]])
+    record = json.loads(path.read_text().splitlines()[0])
+    assert record["kind"] == "synth-eval"
+    assert record["body"]["backend"] == backend_signature(flow)
+    assert record["key"] == synth_eval_key(record["body"]["backend"],
+                                           record["body"]["fingerprint"])
+    assert "t" in record  # GC timestamp rides on the envelope
+
+
+def test_foreign_signature_records_are_ignored_not_errors(adder_chain_graph,
+                                                          library, tmp_path):
+    """A store full of records under other/legacy signatures is simply a
+    cold cache -- never a failed run."""
+    import json
+
+    path = tmp_path / "evals.jsonl"
+    legacy_body = {"fingerprint": "fp", "backend": "SynthesisFlow,legacy",
+                   "name": "old", "delay_ps": 1.0, "num_gates": 1,
+                   "num_gates_unoptimized": 1, "area_um2": 0.1,
+                   "aig_depth": None, "node_ids": []}
+    path.write_text(json.dumps({"kind": "synth-eval", "key": "k1",
+                                "schema": 1, "body": legacy_body}) + "\n")
+    cache = EvaluationCache(SynthesisFlow(library), disk_path=path)
+    assert cache.stats.disk_loaded == 0
+    names = {n.name: n.node_id for n in adder_chain_graph.nodes()}
+    assert cache.evaluate(adder_chain_graph, [names["s1"]]).delay_ps > 0
+    assert cache.stats.synth_runs == 1
+
+
+def test_signature_tracks_library_characterisation(library):
+    """Two libraries sharing a name but differing in one delay figure must
+    not share disk records (the flaw the explicit signature() fixes)."""
+    import copy
+
+    from repro.synth.cache import backend_signature
+
+    retimed = copy.deepcopy(library)
+    cell = retimed.cells["xor2"]
+    retimed.cells["xor2"] = type(cell)(name=cell.name,
+                                       delay_ps=cell.delay_ps * 2,
+                                       area_um2=cell.area_um2,
+                                       num_inputs=cell.num_inputs)
+    assert retimed.name == library.name
+    assert backend_signature(SynthesisFlow(library)) != \
+        backend_signature(SynthesisFlow(retimed))
+
+
+def test_estimator_and_synthesis_signatures_differ(library):
+    from repro.synth.backend import EstimatorBackend, LocalSynthesisBackend
+    from repro.synth.cache import backend_signature
+
+    synth = backend_signature(SynthesisFlow(library))
+    assert backend_signature(EstimatorBackend(library)) != synth
+    # The parallel backend is bit-identical to the serial flow and
+    # legitimately shares its persisted records.
+    with LocalSynthesisBackend(library) as parallel:
+        assert backend_signature(parallel) == synth
+
+
+def test_repeated_runs_with_compaction_stop_growing_the_file(
+        adder_chain_graph, library, tmp_path):
+    """Satellite acceptance: re-running the same evaluations re-appends the
+    same (kind, key) identities, and compaction converges the file size."""
+    from repro.store import ArtifactStore
+
+    path = tmp_path / "evals.jsonl"
+    names = {n.name: n.node_id for n in adder_chain_graph.nodes()}
+    sets = [[names["s1"]], [names["s1"], names["s2"]]]
+    sizes = []
+    for _ in range(3):
+        cache = EvaluationCache(SynthesisFlow(library), disk_path=path)
+        for node_ids in sets:
+            cache.evaluate(adder_chain_graph, node_ids)
+        ArtifactStore(path).open_for_append().compact()
+        sizes.append(path.stat().st_size)
+    assert sizes[0] == sizes[1] == sizes[2]
+    warm = EvaluationCache(SynthesisFlow(library), disk_path=path)
+    assert warm.stats.disk_loaded == 2
+
+
+def test_cache_can_share_an_open_store(adder_chain_graph, library, tmp_path):
+    """One artifact store can hold campaign records and evaluations."""
+    from repro.store import ArtifactStore, StoreRecord
+
+    store = ArtifactStore(tmp_path / "unified.jsonl").open_for_append()
+    store.put(StoreRecord(kind="campaign-header", key="fp", schema=2,
+                          body={"fingerprint": "fp"}))
+    cache = EvaluationCache(SynthesisFlow(library), store=store)
+    names = {n.name: n.node_id for n in adder_chain_graph.nodes()}
+    cache.evaluate(adder_chain_graph, [names["s1"]])
+    reloaded = ArtifactStore.load(store.path)
+    assert reloaded.kinds() == {"campaign-header": 1, "synth-eval": 1}
+    with pytest.raises(ValueError, match="not both"):
+        EvaluationCache(SynthesisFlow(library),
+                        disk_path=tmp_path / "x.jsonl", store=store)

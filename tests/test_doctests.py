@@ -20,6 +20,8 @@ DOCTESTED_MODULES = [
     "repro.report.diff",
     "repro.report.frame",
     "repro.report.render",
+    "repro.store.record",
+    "repro.store.store",
 ]
 
 
