@@ -201,17 +201,25 @@ class CampaignSpec:
         return _canonical_digest(self.to_dict())
 
 
-def quick_spec(num_designs: int = 3, seed: int = 0) -> CampaignSpec:
+def quick_spec(num_designs: int = 3, seed: int = 0,
+               designs: Sequence[str] | None = None) -> CampaignSpec:
     """The built-in smoke campaign: generated designs, estimator backend.
 
     ``num_designs`` generated designs x 4 configuration points (two
     extraction strategies x two subgraph budgets), small iteration counts
     and the closed-form backend, so the whole sweep finishes in seconds.
+    ``designs`` swaps in explicit names (Table-I rows, ``gen:``/``loop:``
+    specs, or ``.ir`` file paths) instead of the generated designs while
+    keeping the quick configuration axes -- the ``runner campaign
+    --design`` path.
     """
     from repro.designs.generator import GeneratorParams
 
-    designs = [GeneratorParams(seed=seed + offset, depth=5, width=3).name
-               for offset in range(num_designs)]
+    if designs:
+        designs = list(designs)
+    else:
+        designs = [GeneratorParams(seed=seed + offset, depth=5, width=3).name
+                   for offset in range(num_designs)]
     return CampaignSpec(
         name="quick",
         designs=designs,

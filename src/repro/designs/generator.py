@@ -238,17 +238,27 @@ def huge_suite(nightly: bool = False) -> list[BenchmarkCase]:
 
 
 def case_from_name(name: str) -> BenchmarkCase:
-    """Resolve a design name: ``gen:`` spec or Table-I registry row.
+    """Resolve a design name: ``gen:``/``loop:`` spec, ``.ir`` file path,
+    or Table-I registry row.
 
     This is the lookup campaign workers use to re-build designs shipped by
     name, so everything a job references must round-trip through it.
 
     Raises:
         KeyError: for an unknown Table-I name.
-        ValueError: for a malformed ``gen:`` name.
+        ValueError: for a malformed ``gen:``/``loop:`` name or an
+            unloadable ``.ir`` file.
     """
     if name.startswith(GENERATED_PREFIX):
         return generated_case(GeneratorParams.from_name(name))
+    if name.startswith("loop:"):
+        from repro.designs.loops import LoopParams, loop_case
+
+        return loop_case(LoopParams.from_name(name))
+    if name.endswith(".ir"):
+        from repro.designs.ingest import ir_file_case
+
+        return ir_file_case(name)
     return suite_by_name(name)
 
 

@@ -9,11 +9,13 @@ over a comma-separated design list::
 ``--mode minclock`` (the default) searches each design's minimum feasible
 clock period by bracketing + batch-speculative bisection; ``--mode
 pareto`` sweeps a period grid and reports the latency / register-count
-front.  ``--jobs N`` evaluates each batch of speculative probes over N
+front; ``--mode min-ii`` resolves each design's minimum feasible
+initiation interval at its registry clock (meaningful for ``loop:`` /
+``.ir`` pipelined-loop designs -- DAGs trivially report II 1).  ``--jobs N`` evaluates each batch of speculative probes over N
 worker processes; ``--speculate`` fixes the batch width independently of
 the worker count, making the probed period sequence (and the
 deterministic part of the ``--json`` payload) identical across ``--jobs``
-settings.  ``--json PATH`` writes the schema-6 machine-readable payload
+settings.  ``--json PATH`` writes the schema-7 machine-readable payload
 (:mod:`repro.experiments.serialize`) that ``runner report`` can load.
 ``--store STORE.jsonl`` additionally appends every evaluated probe as a
 ``dse-probe`` record (plus the payload as a ``payload`` record) to a
@@ -38,6 +40,8 @@ QUICK_DESIGNS = ("rrot", "crc32")
 
 def format_dse(result: DseResult) -> str:
     """ASCII rendition of one :func:`run_dse` result."""
+    if result.mode == "min-ii":
+        return _format_min_ii(result)
     headers = ["Design", "Start (ps)", "Min clock (ps)", "Stages", "Regs",
                "Probes", "Converged", "Warm hits", "Time (s)"]
     rows = []
@@ -78,6 +82,34 @@ def format_dse(result: DseResult) -> str:
     return "\n".join(lines)
 
 
+def _format_min_ii(result: DseResult) -> str:
+    """ASCII rendition of a minimum-II search result."""
+    headers = ["Design", "Clock (ps)", "Min II", "Stages", "Regs",
+               "II probes", "Feasible", "Time (s)"]
+    rows = []
+    for design in result.designs:
+        name = design.design
+        if len(name) > 40:
+            name = name[:37] + "..."
+        best = next((o for o in design.probes
+                     if design.min_ii is not None and o.ii == design.min_ii
+                     and o.feasible), None)
+        rows.append([
+            name, f"{design.start_clock_ps:.0f}",
+            design.min_ii if design.min_ii is not None else "n/a",
+            best.num_stages if best and best.num_stages is not None else "-",
+            best.num_registers
+            if best and best.num_registers is not None else "-",
+            len(design.probes),
+            "yes" if design.converged else "no",
+            f"{design.elapsed_s:.2f}",
+        ])
+    lines = [format_table(headers, rows)]
+    lines.append(f"dse min-ii: {len(result.designs)} designs in "
+                 f"{result.elapsed_s:.2f}s (jobs {result.jobs})")
+    return "\n".join(lines)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner dse",
@@ -86,9 +118,10 @@ def _build_parser() -> argparse.ArgumentParser:
                     "warm-started, batched-parallel probe evaluation.")
     parser.add_argument("--designs", metavar="NAMES", action="append",
                         help="designs to search; repeatable.  Registry names "
-                             "may be comma-separated in one flag; a gen: "
-                             "name (whose parameters themselves contain "
-                             "commas) takes one flag to itself")
+                             "and .ir file paths may be comma-separated in "
+                             "one flag; a gen: or loop: name (whose "
+                             "parameters themselves contain commas) takes "
+                             "one flag to itself")
     parser.add_argument("--quick", action="store_true",
                         help=f"search the built-in quick designs "
                              f"({', '.join(QUICK_DESIGNS)}) unless --designs "
@@ -117,7 +150,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="pareto only: grid size of the period sweep "
                              "(default: 8)")
     parser.add_argument("--json", dest="json_path", metavar="PATH",
-                        help="also write the schema-6 machine-readable "
+                        help="also write the schema-7 machine-readable "
                              "payload to PATH")
     parser.add_argument("--store", dest="store_path", metavar="STORE.jsonl",
                         help="also append every evaluated probe (dse-probe "
@@ -142,7 +175,7 @@ def dse_main(argv: list[str] | None = None) -> int:
                      "expected a file path")
     designs: list[str] = []
     for chunk in arguments.designs or ():
-        if chunk.startswith("gen:"):
+        if chunk.startswith(("gen:", "loop:")):
             designs.append(chunk)
         else:
             designs.extend(part.strip() for part in chunk.split(",")

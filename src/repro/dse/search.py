@@ -32,7 +32,7 @@ from repro.dse.optimizer import (
 from repro.dse.warm import ProbeOutcome, ProblemCache
 from repro.parallel import PersistentPool
 
-MODES = ("minclock", "pareto")
+MODES = ("minclock", "pareto", "min-ii")
 
 #: Per-process cache, keyed by latency weight (the one config knob that
 #: changes solve results).  Worker processes are forked lazily on first
@@ -60,6 +60,19 @@ def evaluate_probe(item: tuple[str, float, float]) -> ProbeOutcome:
     return worker_cache(latency_weight).probe(design, clock_period_ps)
 
 
+def evaluate_min_ii(item: tuple[str, float]
+                    ) -> tuple[ProbeOutcome, list[ProbeOutcome]]:
+    """Pool entry point: run one design's whole minimum-II search in-worker.
+
+    Unlike clock probes (one LP solve each, batched by the optimizer), a
+    min-II search is an inherently sequential bisection over *one* shared
+    problem -- so the unit of parallelism is the design, and the II-axis
+    warm-start reuse (``rebase_ii`` rhs patches) happens inside the worker.
+    """
+    design, latency_weight = item
+    return worker_cache(latency_weight).min_ii_search(design)
+
+
 @dataclass
 class DesignSearchResult:
     """Everything one design's search produced.
@@ -75,6 +88,7 @@ class DesignSearchResult:
     min_clock_ps: float | None
     converged: bool
     probes: list[ProbeOutcome]
+    min_ii: int | None = None
     front: list[ParetoPoint] = field(default_factory=list)
     stats: dict[str, float] = field(default_factory=dict)
     elapsed_s: float = 0.0
@@ -86,6 +100,7 @@ class DesignSearchResult:
             "mode": self.mode,
             "start_clock_ps": self.start_clock_ps,
             "min_clock_ps": self.min_clock_ps,
+            "min_ii": self.min_ii,
             "converged": self.converged,
             "num_probes": len(self.probes),
             "probes": [outcome.to_payload()
@@ -133,19 +148,26 @@ DSE_PROBE_BODY_SCHEMA = 1
 
 
 def probe_key(design: str, mode: str, clock_period_ps: float,
-              max_stages: int | None = None) -> str:
+              max_stages: int | None = None, ii: int | None = None) -> str:
     """Content key of one DSE probe in the unified artifact store.
 
     Identity is the *question asked* -- design, search mode, probed clock
     period and the stage bound that changes feasibility -- never the
     answer, so re-running a search overwrites rather than duplicates its
-    probes (probe outcomes are deterministic for a fixed question).
+    probes (probe outcomes are deterministic for a fixed question).  In
+    ``min-ii`` mode the probed II candidate is part of the question (all
+    candidates share one clock period); for clock-axis modes the II is an
+    answer and stays out of the key, which also keeps pre-II record keys
+    unchanged.
     """
     from repro.store import content_key
 
-    return content_key({"design": design, "mode": mode,
-                        "clock_period_ps": clock_period_ps,
-                        "max_stages": max_stages})
+    identity = {"design": design, "mode": mode,
+                "clock_period_ps": clock_period_ps,
+                "max_stages": max_stages}
+    if ii is not None:
+        identity["ii"] = ii
+    return content_key(identity)
 
 
 def probe_records(result: "DseResult") -> list:
@@ -167,7 +189,9 @@ def probe_records(result: "DseResult") -> list:
             records.append(StoreRecord(
                 kind="dse-probe",
                 key=probe_key(design.design, design.mode,
-                              outcome.clock_period_ps, result.max_stages),
+                              outcome.clock_period_ps, result.max_stages,
+                              ii=outcome.ii if design.mode == "min-ii"
+                              else None),
                 schema=DSE_PROBE_BODY_SCHEMA, body=body))
     return records
 
@@ -289,6 +313,35 @@ def run_dse(designs: list[str], mode: str = "minclock", jobs: int = 1,
     width = max(1, int(speculate) if speculate is not None else jobs)
     started = time.perf_counter()
     results: list[DesignSearchResult] = []
+
+    if mode == "min-ii":
+        # The min-II search is sequential per design (a bisection over one
+        # shared problem), so the pool parallelises across designs and each
+        # worker runs a whole search.
+        with PersistentPool(jobs) as pool:
+            outcomes = pool.map(evaluate_min_ii,
+                                [(name, latency_weight) for name, _ in cases])
+        for (name, case), (final, trace) in zip(cases, outcomes):
+            probes = list(trace)
+            result = DesignSearchResult(
+                design=name, mode=mode,
+                start_clock_ps=case.clock_period_ps,
+                min_clock_ps=None,
+                min_ii=final.ii if final.feasible else None,
+                converged=final.feasible, probes=probes,
+                stats=_design_stats(probes),
+                elapsed_s=final.solve_time_s)
+            results.append(result)
+            if verbose:
+                minimum = (f"II {result.min_ii}" if result.min_ii is not None
+                           else f"infeasible ({final.reason})")
+                print(f"[dse] {name}: {minimum} after {len(probes)} II "
+                      f"probes ({result.elapsed_s:.2f}s)")
+        return DseResult(mode=mode, resolution_ps=float(resolution_ps),
+                         max_stages=max_stages, jobs=jobs, speculate=width,
+                         designs=results,
+                         elapsed_s=time.perf_counter() - started)
+
     with PersistentPool(jobs) as pool:
         for name, case in cases:
             optimizer = make_optimizer(

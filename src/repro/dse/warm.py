@@ -35,6 +35,7 @@ import numpy as np
 from repro.designs.generator import case_from_name
 from repro.ir.graph import DataflowGraph
 from repro.sdc.delays import NOT_CONNECTED, critical_path_matrix, node_delays
+from repro.sdc.loops import min_feasible_ii
 from repro.sdc.pipeline import count_pipeline_registers
 from repro.sdc.problem import ScheduleProblem
 from repro.sdc.scheduler import Schedule
@@ -105,6 +106,13 @@ def build_context(name: str) -> DesignContext:
     matrix, index_of = critical_path_matrix(graph, delays)
     fingerprint = subgraph_fingerprint(
         graph, [node.node_id for node in graph.nodes()])
+    if graph.has_back_edges:
+        # The forward-graph fingerprint is blind to back-edges; append their
+        # signature so loop designs never collide with their DAG skeletons
+        # in the probe memo.
+        loops = ",".join(f"{e.src}>{e.phi}x{e.distance}"
+                         for e in graph.back_edges())
+        fingerprint = f"{fingerprint}|loops:{loops}"
     offdiag = np.asarray(matrix, dtype=float).copy()
     np.fill_diagonal(offdiag, NOT_CONNECTED)
     return DesignContext(
@@ -137,6 +145,10 @@ class ProbeOutcome:
             LP was touched) or ``"lp"`` (the LP itself was infeasible).
         num_stages: pipeline depth of the schedule (feasible probes only).
         num_registers: pipeline register bits (feasible probes only).
+        ii: initiation interval of the schedule -- the minimum feasible II
+            for loop designs, 1 for DAGs (feasible probes only; also set on
+            the per-candidate probes of a min-II search trace, where it is
+            the *probed* candidate).
         stages: the full node id -> stage schedule (feasible probes only).
         warm_patched: served by rebasing a cloned donor problem in place.
         solution_reuse: the rebase patched *zero* bounds -- the LP is
@@ -157,6 +169,7 @@ class ProbeOutcome:
     reason: str = ""
     num_stages: int | None = None
     num_registers: int | None = None
+    ii: int | None = None
     stages: dict[int, int] | None = field(default=None, repr=False)
     warm_patched: bool = False
     solution_reuse: bool = False
@@ -173,6 +186,7 @@ class ProbeOutcome:
             "reason": self.reason,
             "num_stages": self.num_stages,
             "num_registers": self.num_registers,
+            "ii": self.ii,
         }
 
 
@@ -312,7 +326,13 @@ class ProblemCache:
 
         if stages is None:
             try:
-                stages = solve_problem(problem)
+                if context.graph.has_back_edges:
+                    # Loop design: a clock probe resolves the minimum
+                    # feasible II at this period (in-place rebase_ii
+                    # probes over the same problem).
+                    _, stages = min_feasible_ii(problem)
+                else:
+                    stages = solve_problem(problem)
             except SdcInfeasibleError:
                 outcome = ProbeOutcome(
                     design=design, clock_period_ps=period, feasible=False,
@@ -323,12 +343,12 @@ class ProblemCache:
                 return outcome
 
         schedule = Schedule(graph=context.graph, clock_period_ps=period,
-                            stages=stages)
+                            stages=stages, ii=problem.ii)
         registers, _ = count_pipeline_registers(schedule)
         outcome = ProbeOutcome(
             design=design, clock_period_ps=period, feasible=True,
             num_stages=schedule.num_stages, num_registers=registers,
-            stages=dict(stages), warm_patched=warm_patched,
+            ii=problem.ii, stages=dict(stages), warm_patched=warm_patched,
             solution_reuse=reused, lp_rebuild=not warm_patched,
             bound_patches=patches,
             solve_time_s=time.perf_counter() - start)
@@ -336,6 +356,78 @@ class ProblemCache:
                                                        rank)
         self._memo[key] = outcome
         return outcome
+
+    def min_ii_search(self, design: str, clock_period_ps: float | None = None
+                      ) -> tuple[ProbeOutcome, list[ProbeOutcome]]:
+        """Resolve a design's minimum feasible II, recording every II probe.
+
+        The whole search runs over *one* :class:`ScheduleProblem` -- each II
+        candidate is an in-place :meth:`~repro.sdc.problem.ScheduleProblem.rebase_ii`
+        (loop bounds patched in the cached LP's right-hand side) plus one
+        warm re-solve, the same cross-point reuse discipline the
+        clock-period search applies along the clock axis.
+
+        Args:
+            design: design name (``loop:`` spec, ``.ir`` path, or any
+                registry name -- DAGs trivially resolve to II 1).
+            clock_period_ps: clock period to search at; the design's
+                registry clock when omitted.
+
+        Returns:
+            ``(final, trace)`` -- the summary outcome at the minimum II,
+            and one :class:`ProbeOutcome` per probed II candidate in probe
+            order (``ii`` is the candidate, ``feasible`` its verdict).
+        """
+        context = self.context(design)
+        period = float(clock_period_ps if clock_period_ps is not None
+                       else context.default_clock_ps)
+        budget = period - context.register_overhead_ps
+        if budget <= 0.0 or context.worst_delay_ps > budget:
+            self.budget_skips += 1
+            return ProbeOutcome(design=design, clock_period_ps=period,
+                                feasible=False, reason="budget"), []
+
+        start = time.perf_counter()
+        problem = ScheduleProblem(context.graph, context.matrix,
+                                  context.index_of, budget,
+                                  latency_weight=self.latency_weight)
+        self.cold_solves += 1
+        trace: list[ProbeOutcome] = []
+
+        def record(ii: int, feasible: bool,
+                   stages: dict[int, int] | None) -> None:
+            num_stages = num_registers = None
+            if feasible and stages is not None:
+                probe_schedule = Schedule(graph=context.graph,
+                                          clock_period_ps=period,
+                                          stages=stages, ii=ii)
+                num_stages = probe_schedule.num_stages
+                num_registers, _ = count_pipeline_registers(probe_schedule)
+            trace.append(ProbeOutcome(
+                design=design, clock_period_ps=period, feasible=feasible,
+                reason="" if feasible else "lp", num_stages=num_stages,
+                num_registers=num_registers, ii=ii,
+                stages=dict(stages) if stages is not None else None,
+                warm_patched=ii > 1, bound_patches=problem.bound_patches))
+
+        try:
+            min_ii, stages = min_feasible_ii(problem, on_probe=record)
+        except SdcInfeasibleError:
+            return ProbeOutcome(
+                design=design, clock_period_ps=period, feasible=False,
+                reason="lp", lp_rebuild=True,
+                solve_time_s=time.perf_counter() - start), trace
+
+        schedule = Schedule(graph=context.graph, clock_period_ps=period,
+                            stages=stages, ii=min_ii)
+        registers, _ = count_pipeline_registers(schedule)
+        final = ProbeOutcome(
+            design=design, clock_period_ps=period, feasible=True,
+            num_stages=schedule.num_stages, num_registers=registers,
+            ii=min_ii, stages=dict(stages), lp_rebuild=True,
+            bound_patches=problem.bound_patches,
+            solve_time_s=time.perf_counter() - start)
+        return final, trace
 
     def cold_probe(self, design: str, clock_period_ps: float,
                    matrix: np.ndarray | None = None,
@@ -360,16 +452,19 @@ class ProblemCache:
             context.index_of if index_of is None else index_of,
             budget, latency_weight=self.latency_weight)
         try:
-            stages = solve_problem(problem)
+            if context.graph.has_back_edges:
+                _, stages = min_feasible_ii(problem)
+            else:
+                stages = solve_problem(problem)
         except SdcInfeasibleError:
             return ProbeOutcome(design=design, clock_period_ps=period,
                                 feasible=False, reason="lp", lp_rebuild=True,
                                 solve_time_s=time.perf_counter() - start)
         schedule = Schedule(graph=context.graph, clock_period_ps=period,
-                            stages=stages)
+                            stages=stages, ii=problem.ii)
         registers, _ = count_pipeline_registers(schedule)
         return ProbeOutcome(
             design=design, clock_period_ps=period, feasible=True,
             num_stages=schedule.num_stages, num_registers=registers,
-            stages=dict(stages), lp_rebuild=True,
+            ii=problem.ii, stages=dict(stages), lp_rebuild=True,
             solve_time_s=time.perf_counter() - start)

@@ -12,7 +12,8 @@ Usage::
     python -m repro.experiments.runner fig7 [--jobs N] \
         [--solver full|incremental] [--json PATH]
     python -m repro.experiments.runner fig8 [--jobs N] [--json PATH]
-    python -m repro.experiments.runner campaign (--spec SPEC.json | --quick) \
+    python -m repro.experiments.runner campaign \
+        (--spec SPEC.json | --quick | --design NAME) \
         [--out STORE.jsonl] [--resume] [--jobs N] [--json PATH]
     python -m repro.experiments.runner report INPUT... \
         [--group-by AXES] [--metric M] [--format F] [--json PATH]
@@ -41,7 +42,10 @@ carries the per-row phase split ``isdc_solver_time_s`` /
 
 ``campaign`` runs a (design x configuration) sweep described by a JSON spec
 file (:class:`repro.campaign.spec.CampaignSpec` fields; ``--quick`` uses
-the built-in generated-design smoke spec instead).  ``--out`` names the
+the built-in generated-design smoke spec instead).  ``--design NAME``
+(repeatable) adds designs by name -- Table-I rows, ``gen:``/``loop:``
+specs, or textual-IR ``.ir`` file paths -- extending ``--spec`` designs or,
+without a spec, running them on the quick configuration axes.  ``--out`` names the
 JSONL run store checkpointing every completed job; re-running with
 ``--resume`` skips checkpointed jobs, so an interrupted sweep continues
 where it stopped and still produces the identical final payload.
@@ -237,6 +241,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="campaign only: JSON sweep description "
                              "(CampaignSpec fields); --quick uses the "
                              "built-in generated-design smoke spec")
+    parser.add_argument("--design", dest="extra_designs", action="append",
+                        metavar="NAME",
+                        help="campaign only: add a design to the sweep "
+                             "(Table-I name, gen:/loop: spec, or .ir file "
+                             "path); repeatable.  Extends --spec designs; "
+                             "without --spec the quick configuration axes "
+                             "are used")
     parser.add_argument("--out", dest="store_path", metavar="STORE.jsonl",
                         help="campaign only: JSONL run store checkpointing "
                              "every completed job (in-memory when omitted)")
@@ -253,12 +264,21 @@ def main(argv: list[str] | None = None) -> int:
     if arguments.experiment == "campaign":
         if arguments.spec_path:
             spec = CampaignSpec.from_file(arguments.spec_path)
+            for name in arguments.extra_designs or ():
+                if name not in spec.designs:
+                    spec.designs.append(name)
+        elif arguments.extra_designs:
+            generated = quick_spec().designs if arguments.quick else []
+            spec = quick_spec(designs=[*generated,
+                                       *arguments.extra_designs])
         elif not arguments.quick:
-            parser.error("campaign needs --spec PATH or --quick")
+            parser.error("campaign needs --spec PATH, --quick, or "
+                         "--design NAME")
         if arguments.resume and not arguments.store_path:
             parser.error("--resume needs --out STORE.jsonl to resume from")
-    elif arguments.spec_path or arguments.store_path or arguments.resume:
-        parser.error("--spec/--out/--resume apply to the campaign "
+    elif (arguments.spec_path or arguments.store_path or arguments.resume
+          or arguments.extra_designs):
+        parser.error("--spec/--out/--resume/--design apply to the campaign "
                      "experiment only")
 
     start = time.perf_counter()

@@ -5,7 +5,7 @@ can be archived, diffed and consumed by the benchmark suite (``--json PATH``
 on :mod:`repro.experiments.runner`).  The payload envelope is::
 
     {
-      "schema": 6,
+      "schema": 7,
       "experiment": "<name>",
       "store_key": "<hex>",  # content key of (experiment, data), see repro.store
       "quick": bool,
@@ -37,7 +37,11 @@ the only run-dependent values -- see
 artifact store (:func:`repro.store.payload_key` over the ``experiment``
 and ``data`` fields only, so wall-clock envelope fields never perturb
 it), letting archived ``payload`` store records and loose ``--json``
-files cross-reference.
+files cross-reference; 7 added pipelined-loop (initiation-interval)
+scheduling: the ``dse`` payload grows the ``min-ii`` mode (per-design
+``min_ii`` and per-probe ``ii`` fields), and design axes accept
+``loop:`` generated-loop specs and textual-IR ``.ir`` file paths
+alongside Table-I rows and ``gen:`` specs.
 """
 
 from __future__ import annotations
@@ -53,7 +57,7 @@ from repro.experiments.fig8 import AigCorrelationResult
 from repro.experiments.table1 import TableOneResult
 from repro.store import payload_key
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 
 def _table1_payload(result: TableOneResult) -> dict[str, Any]:

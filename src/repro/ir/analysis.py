@@ -82,7 +82,9 @@ class GraphStatistics:
         num_outputs: primary-output count.
         num_edges: dataflow edge count (operand references).
         total_bits: sum of result widths over operation nodes.
-        max_depth: longest source-to-sink path length in edges.
+        max_depth: longest source-to-sink path length in edges
+            (back-edges excluded).
+        num_back_edges: loop back-edge count (0 for feed-forward designs).
         kind_histogram: operation count per opcode name.
     """
 
@@ -95,6 +97,7 @@ class GraphStatistics:
     total_bits: int
     max_depth: int
     kind_histogram: dict[str, int]
+    num_back_edges: int = 0
 
 
 def graph_statistics(graph: DataflowGraph) -> GraphStatistics:
@@ -128,4 +131,5 @@ def graph_statistics(graph: DataflowGraph) -> GraphStatistics:
         total_bits=total_bits,
         max_depth=max(depths.values()) if depths else 0,
         kind_histogram=dict(histogram),
+        num_back_edges=len(graph.back_edges()),
     )

@@ -202,6 +202,21 @@ class GraphBuilder:
     def identity(self, a: NodeLike, name: str = "") -> Node:
         return self.graph.add_node(OpKind.IDENTITY, (_node_id(a),), name=name)
 
+    # ------------------------------------------------------- pipelined loops
+
+    def phi(self, init: NodeLike, name: str = "") -> Node:
+        """Declare a loop-carried value initialised to ``init``.
+
+        Close the loop later with :meth:`back_edge` once the recurrence
+        value exists.
+        """
+        return self.graph.add_node(OpKind.PHI, (_node_id(init),), name=name)
+
+    def back_edge(self, phi: NodeLike, src: NodeLike, distance: int = 1):
+        """Close a loop: carry ``src``'s value into ``phi``, ``distance``
+        iterations later."""
+        return self.graph.add_back_edge(_node_id(phi), _node_id(src), distance)
+
     def clz(self, a: NodeLike, name: str = "") -> Node:
         return self.graph.add_node(OpKind.CLZ, (_node_id(a),), name=name)
 

@@ -4,10 +4,19 @@ A :class:`DataflowGraph` is a DAG of :class:`~repro.ir.node.Node` objects.
 Edges run from operand producers to consumers.  The container maintains both
 forward (users) and backward (operands) adjacency so that the scheduler and
 the subgraph extractor can walk in either direction cheaply.
+
+Pipelined loops add *back-edges*: a ``PHI`` node's forward operand is its
+initial value, and one registered :class:`BackEdge` names the node whose
+result the phi carries into later loop iterations, ``distance`` iterations
+downstream.  Back-edges live outside the operand lists on purpose -- the
+forward graph stays a DAG, so every levelization, topological order, delay
+matrix and analysis keeps working unchanged; only the II-aware scheduler
+and the loop interpreter consult them.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Iterable, Iterator
 
 import networkx as nx
@@ -15,6 +24,22 @@ import networkx as nx
 from repro.ir.node import Node
 from repro.ir.ops import OpKind, infer_result_width
 from repro.kernel.delta import record_add, record_remove
+
+
+@dataclass(frozen=True)
+class BackEdge:
+    """One loop-carried dependency: ``src``'s value feeds ``phi`` next time.
+
+    Attributes:
+        phi: node id of the receiving ``PHI`` node.
+        src: node id whose result is carried around the loop.
+        distance: iteration distance (>= 1); the value produced by iteration
+            ``i`` is consumed by the phi of iteration ``i + distance``.
+    """
+
+    phi: int
+    src: int
+    distance: int
 
 
 class DataflowGraph:
@@ -32,6 +57,7 @@ class DataflowGraph:
         self.name = name
         self._nodes: dict[int, Node] = {}
         self._users: dict[int, list[int]] = {}
+        self._back_edges: dict[int, BackEdge] = {}
         self._next_id = 0
         self._version = 0
 
@@ -92,6 +118,54 @@ class DataflowGraph:
         record_add(self, node.node_id, operand_ids, node.is_source)
         return node
 
+    def add_back_edge(self, phi_id: int, src_id: int, distance: int) -> BackEdge:
+        """Register the loop-carried back-edge of a ``PHI`` node.
+
+        Args:
+            phi_id: id of the receiving ``PHI`` node.
+            src_id: id of the node whose value is carried around the loop.
+            distance: iteration distance (at least 1).
+
+        Returns:
+            The registered :class:`BackEdge`.
+
+        Raises:
+            KeyError: if either node id is not in the graph.
+            ValueError: if ``phi_id`` is not a ``PHI`` node, already has a
+                back-edge, or ``distance`` is not positive.
+        """
+        for node_id in (phi_id, src_id):
+            if node_id not in self._nodes:
+                raise KeyError(f"node {node_id} not in graph {self.name!r}")
+        phi = self._nodes[phi_id]
+        if phi.kind is not OpKind.PHI:
+            raise ValueError(
+                f"back-edge target node {phi_id} is {phi.kind.value!r}, "
+                f"not a phi, in graph {self.name!r}")
+        if phi_id in self._back_edges:
+            raise ValueError(
+                f"phi node {phi_id} already has a back-edge in graph "
+                f"{self.name!r}")
+        if int(distance) < 1:
+            raise ValueError(
+                f"back-edge distance must be >= 1, got {distance}")
+        edge = BackEdge(phi=phi_id, src=src_id, distance=int(distance))
+        self._back_edges[phi_id] = edge
+        return edge
+
+    def back_edges(self) -> list[BackEdge]:
+        """All loop back-edges, ordered by phi node id."""
+        return [self._back_edges[phi] for phi in sorted(self._back_edges)]
+
+    def back_edge_of(self, phi_id: int) -> BackEdge | None:
+        """The back-edge of ``phi_id``, if one is registered."""
+        return self._back_edges.get(phi_id)
+
+    @property
+    def has_back_edges(self) -> bool:
+        """True when the graph models a pipelined loop."""
+        return bool(self._back_edges)
+
     def remove_node(self, node_id: int) -> None:
         """Remove a sink node (one with no users) from the graph.
 
@@ -102,7 +176,8 @@ class DataflowGraph:
 
         Raises:
             KeyError: if ``node_id`` is not in the graph.
-            ValueError: if the node still has users.
+            ValueError: if the node still has users, or is the source of a
+                loop back-edge.
         """
         node = self._nodes.get(node_id)
         if node is None:
@@ -111,6 +186,13 @@ class DataflowGraph:
             raise ValueError(
                 f"node {node_id} still has users {self._users[node_id]} in "
                 f"graph {self.name!r}; remove them first")
+        loop_users = [e.phi for e in self._back_edges.values()
+                      if e.src == node_id and e.phi != node_id]
+        if loop_users:
+            raise ValueError(
+                f"node {node_id} still feeds loop back-edges into phis "
+                f"{loop_users} in graph {self.name!r}; remove them first")
+        self._back_edges.pop(node_id, None)
         del self._nodes[node_id]
         del self._users[node_id]
         for operand in set(node.operands):
@@ -191,6 +273,9 @@ class DataflowGraph:
         for node in self.nodes():
             for operand in node.operands:
                 graph.add_edge(operand, node.node_id)
+        for edge in self.back_edges():
+            graph.add_edge(edge.src, edge.phi, back=True,
+                           distance=edge.distance)
         return graph
 
     def subgraph_nodes(self, node_ids: Iterable[int]) -> list[Node]:
@@ -206,6 +291,7 @@ class DataflowGraph:
             clone._nodes[node_id] = Node(node.node_id, node.kind, node.operands,
                                          node.width, node.name, dict(node.attrs))
         clone._users = {k: list(v) for k, v in self._users.items()}
+        clone._back_edges = dict(self._back_edges)
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -4,6 +4,19 @@ Evaluates a dataflow graph on concrete integer inputs.  This is the golden
 model the gate-level lowering is validated against (both in the unit tests
 and in the hypothesis property tests): for any graph and any inputs, the
 lowered netlist's simulation must agree with this interpreter bit-for-bit.
+
+For pipelined loops two execution models live here:
+
+* :func:`evaluate_loop` -- the golden *sequential* semantics: iterations
+  run one after another, each ``phi`` reading its init value for the first
+  ``distance`` iterations and the back-edge source's value from
+  ``distance`` iterations ago afterwards.
+* :func:`simulate_pipelined_loop` -- the *cycle-accurate* overlapped
+  execution implied by a schedule and an initiation interval: iteration
+  ``i`` issues at cycle ``II * i``, a node runs in cycle
+  ``II * i + stage(node)``, and every loop-carried read is checked against
+  the cycle its producer's register actually holds the value.  A schedule
+  is correct exactly when this simulation reproduces the sequential model.
 """
 
 from __future__ import annotations
@@ -79,6 +92,11 @@ def _evaluate_node(graph: DataflowGraph, node: Node, values: dict[int, int],
     if kind is OpKind.CONSTANT:
         return _mask(int(node.attrs["value"]), width)
     if kind in (OpKind.OUTPUT, OpKind.IDENTITY, OpKind.ZERO_EXT):
+        return _mask(operands[0], width)
+    if kind is OpKind.PHI:
+        # Outside a loop context a phi yields its init operand; the loop
+        # interpreters override this with the carried value once the
+        # iteration index reaches the back-edge distance.
         return _mask(operands[0], width)
     if kind is OpKind.SIGN_EXT:
         return _mask(_to_signed(operands[0], operand_widths[0]), width)
@@ -169,6 +187,163 @@ def _evaluate_node(graph: DataflowGraph, node: Node, values: dict[int, int],
         return _mask(bin(operands[0]).count("1"), width)
 
     raise NotImplementedError(f"no interpretation for opcode {kind.value}")
+
+
+def _normalize_loop_inputs(inputs: Mapping[str, object] | Mapping[int, object],
+                           iterations: int) -> list[tuple[dict[int, int], dict[str, int]]]:
+    """Expand loop inputs into one ``(by_id, by_name)`` frame per iteration.
+
+    Each input value may be a plain ``int`` (held constant across
+    iterations) or a sequence with at least ``iterations`` entries (a new
+    value every iteration, i.e. a streaming input).
+
+    Raises:
+        ValueError: if a sequence input is shorter than ``iterations``.
+    """
+    series_by_id: dict[int, list[int]] = {}
+    series_by_name: dict[str, list[int]] = {}
+    for key, value in inputs.items():
+        if isinstance(value, int):
+            series = [int(value)] * iterations
+        else:
+            series = [int(v) for v in value]  # type: ignore[union-attr]
+            if len(series) < iterations:
+                raise ValueError(
+                    f"input {key!r} supplies {len(series)} values for "
+                    f"{iterations} iterations")
+        if isinstance(key, str):
+            series_by_name[key] = series
+        else:
+            series_by_id[int(key)] = series
+    return [({k: v[i] for k, v in series_by_id.items()},
+             {k: v[i] for k, v in series_by_name.items()})
+            for i in range(iterations)]
+
+
+def evaluate_loop(graph: DataflowGraph,
+                  inputs: Mapping[str, object] | Mapping[int, object],
+                  iterations: int) -> list[dict[int, int]]:
+    """Golden sequential semantics of a pipelined-loop graph.
+
+    Runs ``iterations`` loop iterations one after another.  A ``phi`` node
+    with back-edge ``src`` at distance ``d`` yields its init operand's
+    value for iterations ``i < d`` and ``src``'s value from iteration
+    ``i - d`` afterwards.  Feed-forward graphs (no back-edges) simply
+    evaluate ``iterations`` times.
+
+    Args:
+        graph: the dataflow graph (may contain phis/back-edges).
+        inputs: parameter values keyed by name or node id; each either an
+            ``int`` (constant across iterations) or a per-iteration sequence.
+        iterations: number of loop iterations to execute (>= 1).
+
+    Returns:
+        One ``{node_id: value}`` mapping per iteration.
+
+    Raises:
+        ValueError: on a non-positive iteration count or short input series.
+    """
+    if int(iterations) < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    order = topological_order(graph)
+    frames = _normalize_loop_inputs(inputs, iterations)
+    history: list[dict[int, int]] = []
+    for i in range(iterations):
+        by_id, by_name = frames[i]
+        values: dict[int, int] = {}
+        for node_id in order:
+            node = graph.node(node_id)
+            edge = graph.back_edge_of(node_id)
+            if node.kind is OpKind.PHI and edge is not None \
+                    and i >= edge.distance:
+                values[node_id] = _mask(history[i - edge.distance][edge.src],
+                                        node.width)
+            else:
+                values[node_id] = _evaluate_node(graph, node, values, by_id,
+                                                 by_name)
+        history.append(values)
+    return history
+
+
+def evaluate_loop_outputs(graph: DataflowGraph,
+                          inputs: Mapping[str, object] | Mapping[int, object],
+                          iterations: int) -> list[dict[str, int]]:
+    """Like :func:`evaluate_loop` but returns only primary outputs by name."""
+    history = evaluate_loop(graph, inputs, iterations)
+    outputs = graph.outputs()
+    return [{node.name: values[node.node_id] for node in outputs}
+            for values in history]
+
+
+def simulate_pipelined_loop(graph: DataflowGraph, stages: Mapping[int, int],
+                            ii: int,
+                            inputs: Mapping[str, object] | Mapping[int, object],
+                            iterations: int) -> list[dict[int, int]]:
+    """Cycle-accurate execution of a schedule at a given initiation interval.
+
+    Iteration ``i`` issues at cycle ``ii * i``; node ``n`` computes during
+    cycle ``ii * i + stages[n]`` and its result is registered at the end of
+    that cycle (available to *later* cycles; forward operands in the same
+    stage chain combinationally).  A loop-carried read checks that the
+    producing iteration's register already holds the value -- if the
+    schedule violates ``stage(src) - stage(phi) <= ii * distance - 1`` the
+    simulation raises instead of silently reading a stale value.
+
+    Returns:
+        One ``{node_id: value}`` mapping per iteration, directly comparable
+        to :func:`evaluate_loop`'s result.
+
+    Raises:
+        ValueError: on non-positive ``ii``/``iterations``, a node missing
+            from ``stages``, a forward operand scheduled after its consumer,
+            or a loop-carried value that is not yet available at its read
+            cycle.
+    """
+    if int(ii) < 1:
+        raise ValueError(f"initiation interval must be >= 1, got {ii}")
+    if int(iterations) < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    order = topological_order(graph)
+    for node_id in order:
+        if node_id not in stages:
+            raise ValueError(
+                f"node {node_id} missing from the schedule for graph "
+                f"{graph.name!r}")
+    frames = _normalize_loop_inputs(inputs, iterations)
+
+    # (iteration, node_id) -> (first cycle the registered value is readable,
+    # value).  Only back-edge sources need remembering across iterations,
+    # but keeping every node is simpler and the graphs are small.
+    registered: dict[tuple[int, int], tuple[int, int]] = {}
+    history: list[dict[int, int]] = []
+    for i in range(iterations):
+        issue_cycle = ii * i
+        by_id, by_name = frames[i]
+        values: dict[int, int] = {}
+        for node_id in order:
+            node = graph.node(node_id)
+            compute_cycle = issue_cycle + stages[node_id]
+            edge = graph.back_edge_of(node_id)
+            if node.kind is OpKind.PHI and edge is not None \
+                    and i >= edge.distance:
+                ready_cycle, carried = registered[(i - edge.distance, edge.src)]
+                if ready_cycle > compute_cycle:
+                    raise ValueError(
+                        f"loop-carried value {edge.src} -> phi {node_id} is "
+                        f"registered at cycle {ready_cycle} but read at "
+                        f"cycle {compute_cycle} (iteration {i}, II {ii})")
+                values[node_id] = _mask(carried, node.width)
+            else:
+                for operand in node.operands:
+                    if stages[operand] > stages[node_id]:
+                        raise ValueError(
+                            f"operand {operand} of node {node_id} is "
+                            f"scheduled after its consumer")
+                values[node_id] = _evaluate_node(graph, node, values, by_id,
+                                                 by_name)
+            registered[(i, node_id)] = (compute_cycle + 1, values[node_id])
+        history.append(values)
+    return history
 
 
 def _evaluate_shift(kind: OpKind, value: int, amount: int, value_width: int,

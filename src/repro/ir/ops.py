@@ -77,6 +77,9 @@ class OpKind(enum.Enum):
     CLZ = "clz"              # count leading zeros
     POPCOUNT = "popcount"
 
+    # Pipelined loops.
+    PHI = "phi"              # loop-carried value: init operand + one back-edge
+
     @property
     def is_source(self) -> bool:
         """True for nodes with no dataflow operands (graph sources)."""
@@ -118,6 +121,9 @@ _COMPARISONS = {
 }
 
 # Operations that are implemented purely with wires once lowered to gates.
+# PHI is free too: a loop-carried value lives in the pipeline register its
+# back-edge implies, and the init/recurrence mux folds into that register's
+# input -- the phi itself contributes no combinational delay.
 _FREE_OPS = {
     OpKind.PARAM,
     OpKind.CONSTANT,
@@ -127,6 +133,7 @@ _FREE_OPS = {
     OpKind.ZERO_EXT,
     OpKind.SIGN_EXT,
     OpKind.IDENTITY,
+    OpKind.PHI,
 }
 
 
@@ -237,6 +244,8 @@ _register(OpKind.IDENTITY, 1, 1, _same_as_first)
 _register(OpKind.MULADD, 3, 3, _mul_width)
 _register(OpKind.CLZ, 1, 1, _count_width)
 _register(OpKind.POPCOUNT, 1, 1, _count_width)
+
+_register(OpKind.PHI, 1, 1, _same_as_first)
 
 
 def signature_of(kind: OpKind) -> OpSignature:

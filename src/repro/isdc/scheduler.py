@@ -193,7 +193,7 @@ class IsdcScheduler:
                                 delay_matrix.index_of, dirty)
         return Schedule(graph=problem.graph,
                         clock_period_ps=self.config.clock_period_ps,
-                        stages=solution)
+                        stages=solution, ii=problem.ii)
 
     def _estimation_error(self, schedule: Schedule, delay_matrix: DelayMatrix
                           ) -> float | None:

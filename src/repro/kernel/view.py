@@ -13,6 +13,12 @@ The view is duck-typed: :meth:`GraphView.from_dataflow`,
 :meth:`GraphView.from_netlist` and :meth:`GraphView.from_aig` only touch the
 public container APIs, so this module imports nothing from the higher layers.
 
+Pipelined-loop back-edges (``DataflowGraph.back_edges()``) are *not* part of
+the view: they live outside ``Node.operands``, so the forward graph stays a
+DAG and Kahn levelization, the delay matrix and every reachability scan stay
+valid unchanged.  Loop-carried timing is enforced separately, by II-scaled
+difference constraints in the SDC layer (:mod:`repro.sdc.loops`).
+
 Invalidation contract
 ---------------------
 

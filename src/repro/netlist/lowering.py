@@ -239,7 +239,10 @@ class _Lowerer:
         if kind is OpKind.CONSTANT:
             value = int(node.attrs["value"])
             return [self.const_bit((value >> i) & 1) for i in range(width)]
-        if kind in (OpKind.OUTPUT, OpKind.IDENTITY):
+        # PHI lowers combinationally as a wire from its init operand -- the
+        # loop-carried mux folds into the pipeline register, which the
+        # (purely combinational) netlist does not model.
+        if kind in (OpKind.OUTPUT, OpKind.IDENTITY, OpKind.PHI):
             return self.zext(operands[0], width)
         if kind is OpKind.ZERO_EXT:
             return self.zext(operands[0], width)

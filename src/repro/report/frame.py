@@ -18,7 +18,7 @@ row carries
   source records them).
 
 Loading is schema-tolerant: fields newer than the payload simply produce
-rows without those metrics, so schema-1 payloads and schema-6 payloads
+rows without those metrics, so schema-1 payloads and schema-7 payloads
 aggregate side by side.
 
 A tiny in-memory example (runnable)::
@@ -83,6 +83,7 @@ METRICS: dict[str, MetricSpec] = {
     "solver_time_s": MetricSpec(False, "cumulative LP re-solve time (schema >= 2)"),
     "synthesis_time_s": MetricSpec(False, "cumulative subgraph synthesis time (schema >= 2)"),
     "min_clock_ps": MetricSpec(False, "minimum feasible clock period found by the DSE search"),
+    "min_ii": MetricSpec(False, "minimum feasible initiation interval found by the DSE min-ii search"),
     "dse_probes": MetricSpec(False, "clock-period probes the DSE search evaluated"),
     "warm_hit_rate": MetricSpec(True, "fraction of DSE probes served warm (memo or patched re-solve)"),
     "lp_rebuilds": MetricSpec(False, "DSE probes that needed a full LP rebuild"),
@@ -307,6 +308,8 @@ def _dse_rows(source: str, envelope: dict) -> list[ReportRow]:
         metrics: dict = {}
         if raw.get("min_clock_ps") is not None:
             metrics["min_clock_ps"] = float(raw["min_clock_ps"])
+        if raw.get("min_ii") is not None:
+            metrics["min_ii"] = float(raw["min_ii"])
         if "num_probes" in raw:
             metrics["dse_probes"] = float(raw["num_probes"])
         warm = raw.get("warm", {})

@@ -50,6 +50,10 @@ class ConstraintSystem:
     _seen: set[tuple[int, int, int]] = field(default_factory=set, repr=False)
     _timing_rows: dict[tuple[int, int], int] = field(default_factory=dict,
                                                      repr=False)
+    _loop_rows: dict[tuple[int, int], int] = field(default_factory=dict,
+                                                   repr=False)
+    _loop_distances: dict[tuple[int, int], int] = field(default_factory=dict,
+                                                        repr=False)
 
     def add_variable(self, node_id: int) -> None:
         """Register a schedule variable."""
@@ -90,6 +94,59 @@ class ConstraintSystem:
         This is Eq. 2 of the paper: ``s_source - s_sink <= -min_distance``.
         """
         return self.add(source, sink, -min_distance, kind="timing")
+
+    def add_loop(self, src: int, phi: int, distance: int, ii: int) -> bool:
+        """Add the loop-carried (recurrence) constraint of one back-edge.
+
+        For a back-edge ``src -> phi`` at iteration distance ``d`` and
+        initiation interval ``II``, the carried value must reach the phi's
+        loop register before iteration ``i + d`` reads it:
+        ``s_src - s_phi <= II * d - 1`` (the ``-1`` is the register
+        boundary the value crosses).
+
+        Like timing constraints, loop constraints have stable row
+        identities so :meth:`set_loop_bound` can rebase every bound in
+        place when the II changes during the minimum-II search.
+
+        Returns:
+            True if the constraint was newly added.
+        """
+        added = self.add(src, phi, ii * distance - 1, kind="loop")
+        if added:
+            self._loop_rows[(src, phi)] = len(self._constraints) - 1
+            self._loop_distances[(src, phi)] = distance
+        return added
+
+    def set_loop_bound(self, src: int, phi: int, ii: int) -> bool:
+        """Rebase the loop constraint on ``(src, phi)`` to a new II.
+
+        The constraint keeps its row identity; only the bound changes.
+
+        Returns:
+            True if the bound actually changed.
+
+        Raises:
+            KeyError: if no loop constraint exists for the pair.
+        """
+        row = self._loop_rows[(src, phi)]
+        distance = self._loop_distances[(src, phi)]
+        bound = ii * distance - 1
+        old = self._constraints[row]
+        if old.bound == bound:
+            return False
+        self._seen.discard((src, phi, old.bound))
+        self._seen.add((src, phi, bound))
+        self._constraints[row] = DifferenceConstraint(src, phi, bound, "loop")
+        return True
+
+    def loop_entries(self) -> list[tuple[int, int, int, int]]:
+        """All ``(src, phi, distance, row)`` loop entries in insertion order."""
+        return [(src, phi, self._loop_distances[(src, phi)], row)
+                for (src, phi), row in self._loop_rows.items()]
+
+    def num_loop_pairs(self) -> int:
+        """Number of back-edges currently carrying a loop constraint."""
+        return len(self._loop_rows)
 
     def timing_row(self, u: int, v: int) -> int | None:
         """Stable row index of the timing constraint on ``(u, v)``, if any.
@@ -186,6 +243,8 @@ class ConstraintSystem:
             _constraints=list(self._constraints),
             _seen=set(self._seen),
             _timing_rows=dict(self._timing_rows),
+            _loop_rows=dict(self._loop_rows),
+            _loop_distances=dict(self._loop_distances),
         )
         return duplicate
 

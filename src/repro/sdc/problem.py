@@ -105,15 +105,36 @@ def add_timing_constraints(system: ConstraintSystem, matrix: np.ndarray,
     return added
 
 
+def add_loop_constraints(system: ConstraintSystem, graph: DataflowGraph,
+                         ii: int) -> int:
+    """Add the II-scaled recurrence constraint of every loop back-edge.
+
+    For each back-edge ``src -> phi`` at distance ``d`` this is
+    ``s_src - s_phi <= II * d - 1``: the value produced in iteration ``i``
+    must sit in the phi's loop register before iteration ``i + d`` (which
+    starts ``II * d`` cycles later) reads it.
+
+    Returns:
+        The number of constraints added.
+    """
+    added = 0
+    for edge in graph.back_edges():
+        if system.add_loop(edge.src, edge.phi, edge.distance, ii):
+            added += 1
+    return added
+
+
 def build_system(graph: DataflowGraph, matrix: np.ndarray,
                  index_of: Mapping[int, int], timing_budget_ps: float,
-                 pin_sources: bool = True) -> ConstraintSystem:
+                 pin_sources: bool = True, ii: int = 1) -> ConstraintSystem:
     """Build the full constraint system of one graph from a delay matrix.
 
     The single construction routine shared by the baseline scheduler and
     every :class:`ScheduleProblem` rebuild -- the byte-parity guarantee of
     the incremental solver relies on there being exactly one way to
-    enumerate the constraints.
+    enumerate the constraints.  Constraint order is canonical:
+    dependencies, source pins, timing pairs (row-major), then loop
+    back-edges (by phi id).
     """
     system = ConstraintSystem()
     add_dependency_constraints(system, graph)
@@ -122,6 +143,7 @@ def build_system(graph: DataflowGraph, matrix: np.ndarray,
             if node.is_source:
                 system.pin(node.node_id, 0)
     add_timing_constraints(system, matrix, index_of, timing_budget_ps)
+    add_loop_constraints(system, graph, ii)
     return system
 
 
@@ -265,6 +287,8 @@ class ScheduleProblem:
         graph: the scheduled dataflow graph.
         timing_budget_ps: combinational budget of one stage (clock period
             minus register overhead).
+        ii: initiation interval the loop (back-edge) constraints are scaled
+            by; 1 and irrelevant for feed-forward graphs.
         latency_weight: tie-breaking objective weight.
         pin_sources: whether parameters/constants are pinned to cycle 0.
         register_weights: cached objective weights (computed once).
@@ -276,11 +300,13 @@ class ScheduleProblem:
 
     def __init__(self, graph: DataflowGraph, matrix: np.ndarray,
                  index_of: Mapping[int, int], timing_budget_ps: float,
-                 latency_weight: float = 1e-3, pin_sources: bool = True) -> None:
+                 latency_weight: float = 1e-3, pin_sources: bool = True,
+                 ii: int = 1) -> None:
         self.graph = graph
         self.timing_budget_ps = float(timing_budget_ps)
         self.latency_weight = float(latency_weight)
         self.pin_sources = pin_sources
+        self.ii = int(ii)
         self.register_weights = register_weights(graph)
         self.users_map = users_map(graph)
         self.rebuilds = 0
@@ -297,7 +323,8 @@ class ScheduleProblem:
                       ) -> None:
         """(Re)build the constraint system from scratch, invalidating caches."""
         self.system = build_system(self.graph, matrix, index_of,
-                                   self.timing_budget_ps, self.pin_sources)
+                                   self.timing_budget_ps, self.pin_sources,
+                                   ii=self.ii)
         self._lp = None
         self._repair_adjacency = None
         self._timing_pack = None
@@ -325,6 +352,7 @@ class ScheduleProblem:
         duplicate.timing_budget_ps = self.timing_budget_ps
         duplicate.latency_weight = self.latency_weight
         duplicate.pin_sources = self.pin_sources
+        duplicate.ii = self.ii
         duplicate.register_weights = self.register_weights
         duplicate.users_map = self.users_map
         duplicate.rebuilds = self.rebuilds
@@ -474,6 +502,40 @@ class ScheduleProblem:
         self.timing_budget_ps = float(new_budget_ps)
         self.rebuild(matrix, index_of)
         return False
+
+    def rebase_ii(self, new_ii: int) -> bool:
+        """Re-target every loop constraint to a new initiation interval.
+
+        The minimum-II search probes the *same* problem at many candidate
+        IIs; between two IIs only the loop-constraint bounds move
+        (``II * distance - 1``) -- the constrained pair set is exactly the
+        graph's back-edges at every II, so unlike :meth:`rebase_timing`
+        this rebase can never fail and never forces a rebuild.  Bounds are
+        swapped through the stable-row machinery
+        (:meth:`~repro.sdc.constraints.ConstraintSystem.set_loop_bound`)
+        and the cached LP's right-hand side is patched in place, making an
+        II probe as cheap as a warm clock-period probe.
+
+        Returns:
+            True when any bound actually changed (False for a no-op II).
+
+        Raises:
+            ValueError: if ``new_ii`` is not positive.
+        """
+        new_ii = int(new_ii)
+        if new_ii < 1:
+            raise ValueError(f"initiation interval must be >= 1, got {new_ii}")
+        if new_ii == self.ii:
+            return False
+        changed = 0
+        for src, phi, distance, row in self.system.loop_entries():
+            if self.system.set_loop_bound(src, phi, new_ii):
+                if self._lp is not None:
+                    self._lp.b_ub[row] = float(new_ii * distance - 1)
+                changed += 1
+        self.ii = new_ii
+        self.bound_patches += changed
+        return changed > 0
 
     # ----------------------------------------------------------------- caches
 

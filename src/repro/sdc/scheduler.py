@@ -41,11 +41,15 @@ class Schedule:
         graph: the scheduled dataflow graph.
         clock_period_ps: target clock period used to derive the schedule.
         stages: node id -> stage index (0-based).
+        ii: initiation interval -- a new loop iteration issues every ``ii``
+            cycles.  Always 1 for feed-forward (DAG) designs; for pipelined
+            loops it is the minimum II the recurrence constraints allow.
     """
 
     graph: DataflowGraph
     clock_period_ps: float
     stages: dict[int, int]
+    ii: int = 1
 
     @property
     def num_stages(self) -> int:
@@ -154,12 +158,20 @@ class SdcScheduler:
                                   self.timing_budget_ps,
                                   latency_weight=self.latency_weight,
                                   pin_sources=self.pin_sources)
-        solution = solve_lp(problem.system, problem.register_weights,
-                            problem.users_map,
-                            latency_weight=self.latency_weight)
+        if graph.has_back_edges:
+            # Pipelined loop: resolve the minimum feasible II by probing the
+            # persistent problem (in-place rebase_ii + warm re-solves).
+            from repro.sdc.loops import min_feasible_ii
+
+            ii, solution = min_feasible_ii(problem)
+        else:
+            ii = 1
+            solution = solve_lp(problem.system, problem.register_weights,
+                                problem.users_map,
+                                latency_weight=self.latency_weight)
         end_time = time.perf_counter()
         schedule = Schedule(graph=graph, clock_period_ps=self.clock_period_ps,
-                            stages=solution)
+                            stages=solution, ii=ii)
         return SchedulingResult(schedule=schedule, delays=delays,
                                 delay_matrix=matrix, index_of=index_of,
                                 num_constraints=len(problem.system),

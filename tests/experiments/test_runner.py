@@ -115,3 +115,31 @@ def test_payload_roundtrips_through_json():
     decoded = json.loads(json.dumps(payload))
     assert decoded["data"]["num_points"] == len(result.points)
     assert decoded["data"]["correlation"] == pytest.approx(result.correlation)
+
+
+def test_campaign_design_flag_runs_named_designs(capsys):
+    assert main(["campaign", "--design", "examples/loop_accum.ir",
+                 "--design",
+                 "loop:seed=2,depth=3,width=2,bits=16,inputs=2,phis=1,"
+                 "dist=1,clock=2500"]) == 0
+    out = capsys.readouterr().out
+    assert "examples/loop_accum.ir" in out
+    # 2 designs x quick axes (2 extraction x 2 subgraph budgets) = 8 jobs.
+    assert "8 jobs" in out
+
+
+def test_campaign_design_flag_extends_spec(tmp_path, capsys):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps({
+        "name": "mini", "designs": ["rrot"], "subgraph_counts": [4],
+        "max_iterations": 2, "backend": "estimator",
+        "use_characterized_delays": False}))
+    assert main(["campaign", "--spec", str(spec_path),
+                 "--design", "examples/loop_accum.ir"]) == 0
+    out = capsys.readouterr().out
+    assert "rrot" in out and "examples/loop_accum.ir" in out
+
+
+def test_design_flag_rejected_for_other_experiments():
+    with pytest.raises(SystemExit):
+        main(["fig8", "--quick", "--design", "rrot"])

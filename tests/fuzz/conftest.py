@@ -1,0 +1,23 @@
+"""Hypothesis profiles for the fuzz suite.
+
+The default (``dev``) profile keeps hypothesis' randomized exploration so
+local runs keep hunting for new counterexamples.  CI selects the pinned
+``ci`` profile (``HYPOTHESIS_PROFILE=ci``): derandomized, so the fuzz-smoke
+job is reproducible run-to-run, with the committed corpus
+(``tests/fuzz/corpus/``) carrying past counterexamples as plain regression
+tests that replay regardless of profile.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "dev", deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.register_profile(
+    "ci", deadline=None, derandomize=True, print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -1,0 +1,41 @@
+"""Replay the committed fuzz corpus as plain regression tests.
+
+``corpus/valid/*.ir`` must run the whole parse -> verify -> schedule ->
+execute pipeline successfully; ``corpus/invalid/*.ir`` must be rejected
+with a controlled diagnostic.  Counterexamples hypothesis finds in the
+randomized (``dev``) profile get checked in here, so the derandomized CI
+profile still replays them forever.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.ir.verify import IRVerificationError
+from tests.fuzz.test_pipeline_fuzz import CONTROLLED_ERRORS, _run_pipeline
+
+CORPUS = Path(__file__).parent / "corpus"
+
+_VALID = sorted((CORPUS / "valid").glob("*.ir"))
+_INVALID = sorted((CORPUS / "invalid").glob("*.ir"))
+
+
+def test_corpus_is_populated():
+    assert len(_VALID) >= 5 and len(_INVALID) >= 7
+
+
+@pytest.mark.parametrize("path", _VALID, ids=lambda p: p.stem)
+def test_valid_corpus_runs_pipeline(path):
+    _run_pipeline(path.read_text())
+
+
+@pytest.mark.parametrize("path", _INVALID, ids=lambda p: p.stem)
+def test_invalid_corpus_rejected_with_diagnostic(path):
+    with pytest.raises(CONTROLLED_ERRORS) as excinfo:
+        _run_pipeline(path.read_text())
+    # Parser-level rejections always name the offending line.
+    if isinstance(excinfo.value, ValueError) and not isinstance(
+            excinfo.value, IRVerificationError):
+        assert "line " in str(excinfo.value)

@@ -1,0 +1,153 @@
+"""Differential fuzzing of the parse -> schedule -> verify pipeline.
+
+Three input families, one contract:
+
+* **valid** -- random pipelined-loop graphs printed through
+  :func:`graph_to_text`.  The full pipeline (parse, structural verify, SDC
+  schedule with automatic minimum-II search, cycle-accurate execution
+  check) must succeed outright: every emitted II schedule is executed and
+  compared against the sequential loop semantics.
+* **mutated-valid** -- valid texts with a few random line/character edits.
+  The pipeline may accept (mutations can be benign) or reject, but every
+  rejection must be a controlled diagnostic (:class:`ValueError`,
+  :class:`IRVerificationError`, :class:`SdcInfeasibleError`) -- never a
+  ``KeyError``/``IndexError``/``RecursionError``/``TypeError`` escaping
+  some internal layer.
+* **garbage** -- arbitrary text, plus text that starts with a valid
+  ``design`` line to reach the deeper parser states.  Same contract.
+
+Across the families the suite runs >= 2000 examples.  Inputs are kept tiny
+(<= a dozen operations) so each example schedules in milliseconds.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.ops import OpKind
+from repro.ir.textual import graph_to_text, parse_design_text
+from repro.ir.verify import (IRVerificationError, verify_graph,
+                             verify_ii_schedule)
+from repro.sdc.scheduler import SdcScheduler
+from repro.sdc.solver import SdcInfeasibleError
+from repro.tech.delay_model import OperatorModel
+
+#: Errors the pipeline is allowed to raise on malformed input.  Anything
+#: else escaping (KeyError, IndexError, RecursionError, TypeError, ...)
+#: is a crash, and the fuzzer fails the example.
+CONTROLLED_ERRORS = (ValueError, IRVerificationError, SdcInfeasibleError)
+
+#: Generous default clock so valid generated designs always schedule
+#: (every single operation fits one stage with room to spare).
+_CLOCK_PS = 20_000.0
+
+_MODEL = OperatorModel(pessimism=1.0)
+
+_BINARY = ("add", "sub", "xor", "and_", "or_", "mul")
+
+
+def _run_pipeline(text: str) -> None:
+    """parse -> verify -> schedule -> execute; raises on any failure."""
+    graph, clock_ps = parse_design_text(text)
+    verify_graph(graph)
+    if not len(graph):
+        return
+    scheduler = SdcScheduler(_MODEL, clock_period_ps=clock_ps or _CLOCK_PS)
+    result = scheduler.schedule(graph)
+    verify_ii_schedule(graph, result.schedule.stages, result.schedule.ii,
+                       iterations=3, num_vectors=2)
+
+
+@st.composite
+def _loop_graphs(draw):
+    """Tiny random pipelined-loop designs (possibly loop-free)."""
+    builder = GraphBuilder(draw(st.sampled_from(["g", "fuzz design", "x#1"])))
+    width = draw(st.sampled_from([4, 8, 16]))
+    pool = [builder.param(f"p{i}", width)
+            for i in range(draw(st.integers(min_value=1, max_value=2)))]
+    pool.append(builder.constant(
+        draw(st.integers(min_value=0, max_value=(1 << width) - 1)), width))
+    phis = []
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        phi = builder.phi(draw(st.sampled_from(pool)))
+        phis.append(phi)
+        pool.append(phi)
+    for _ in range(draw(st.integers(min_value=1, max_value=8))):
+        method = draw(st.sampled_from(_BINARY))
+        pool.append(getattr(builder, method)(draw(st.sampled_from(pool)),
+                                             draw(st.sampled_from(pool))))
+    for phi in phis:
+        candidates = [n for n in pool if n.kind is not OpKind.PHI]
+        builder.back_edge(phi, draw(st.sampled_from(candidates)),
+                          distance=draw(st.integers(min_value=1, max_value=2)))
+    builder.output(pool[-1])
+    return builder.graph
+
+
+@st.composite
+def _mutated_texts(draw):
+    """A valid text with 1-3 random line- or character-level edits."""
+    lines = graph_to_text(draw(_loop_graphs())).splitlines()
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        kind = draw(st.integers(min_value=0, max_value=5))
+        index = draw(st.integers(min_value=0, max_value=len(lines) - 1))
+        if kind == 0 and len(lines) > 1:
+            del lines[index]
+        elif kind == 1:
+            lines.insert(index, lines[draw(st.integers(
+                min_value=0, max_value=len(lines) - 1))])
+        elif kind == 2:
+            other = draw(st.integers(min_value=0, max_value=len(lines) - 1))
+            lines[index], lines[other] = lines[other], lines[index]
+        elif kind == 3:
+            line = lines[index]
+            if line:
+                at = draw(st.integers(min_value=0, max_value=len(line) - 1))
+                lines[index] = line[:at] + draw(st.sampled_from(
+                    list("n0123456789#=,()\": x"))) + line[at + 1:]
+        elif kind == 4:
+            line = lines[index]
+            at = draw(st.integers(min_value=0, max_value=len(line)))
+            lines[index] = line[:at]
+        else:
+            lines.insert(index, draw(st.text(max_size=25)))
+    return "\n".join(lines)
+
+
+def _assert_no_crash(text: str) -> None:
+    try:
+        _run_pipeline(text)
+    except CONTROLLED_ERRORS:
+        pass
+
+
+@settings(max_examples=500)
+@given(_loop_graphs())
+def test_valid_designs_run_the_full_pipeline(graph):
+    # No except clause: printed valid designs must parse, verify, schedule
+    # and pass the cycle-accurate II execution check outright.
+    _run_pipeline(graph_to_text(graph))
+
+
+@settings(max_examples=700)
+@given(_mutated_texts())
+def test_mutated_designs_never_crash(text):
+    _assert_no_crash(text)
+
+
+@settings(max_examples=500)
+@given(st.text(max_size=200))
+def test_garbage_never_crashes(text):
+    _assert_no_crash(text)
+
+
+@settings(max_examples=400)
+@given(st.lists(st.text(alphabet=list(
+    "n0123456789 =()#,:.\"\\\n adsuboxrmulphiconstanwidthbackedge->"),
+    max_size=40), max_size=8))
+def test_structured_garbage_never_crashes(lines):
+    # Reaches the node/backedge grammar states a plain-text fuzzer rarely
+    # hits: a valid design line followed by token soup.
+    _assert_no_crash("design g\n" + "\n".join(lines))
