@@ -24,7 +24,7 @@ from repro.campaign.store import RunStore
 from repro.designs.generator import case_from_name
 from repro.isdc.config import IsdcConfig
 from repro.isdc.scheduler import IsdcScheduler
-from repro.parallel import parallel_imap_unordered
+from repro.parallel import shared_pool
 
 
 def execute_job(design: str, config_payload: dict) -> dict:
@@ -117,8 +117,11 @@ def run_campaign(spec: CampaignSpec, store: RunStore | None = None,
     runtimes: dict[str, float] = {}
     payloads = [(job.design, job.config) for job in pending]
     previous = time.perf_counter()
-    for position, result in parallel_imap_unordered(_execute_payload,
-                                                    payloads, jobs=jobs):
+    # Shards stream through the process-wide shared pool so consecutive
+    # campaigns (and service cold-miss batches) reuse one set of workers
+    # instead of respawning per invocation.
+    pool = shared_pool(jobs)
+    for position, result in pool.imap_unordered(_execute_payload, payloads):
         job = pending[position]
         # Per-job wall clock is exact when serial; under a pool it is the
         # span since the previous completion (throughput, not latency).

@@ -24,6 +24,8 @@ Usage::
         [--resolution-ps PS] [--max-stages N] [--json PATH]
     python -m repro.experiments.runner store \
         (ls|verify|compact|gc|migrate) STORE.jsonl [...]
+    python -m repro.experiments.runner serve [--stdin] [--port N] \
+        [--jobs N] [--store STORE.jsonl] [...]
 
 Each sub-command regenerates one artefact of the paper's evaluation and
 prints its ASCII rendition; ``--quick`` reduces iteration counts and design
@@ -60,6 +62,12 @@ can gate on regressions.  See :mod:`repro.report.cli` and ``docs/cli.md``.
 feasible clock (``--mode minclock``) or the latency / register-count
 Pareto front (``--mode pareto``) -- with warm-started probe evaluation
 batched over ``--jobs`` workers.  See :mod:`repro.dse.cli`.
+
+``serve`` runs the scheduling-service daemon: schedule / min-clock /
+min-II requests over a JSON line protocol (stdin or TCP/HTTP), answered
+from a content-addressed warm cache with request coalescing and batched
+cold-miss execution over a persistent worker pool.  See
+:mod:`repro.service.cli` and ``docs/service.md``.
 
 ``store`` maintains unified artifact-store files (:mod:`repro.store`):
 ``ls`` summarises, ``verify`` health-checks, ``compact`` drops superseded
@@ -213,6 +221,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.store.cli import store_main
 
         return store_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # The scheduling-service daemon (stdin/TCP front ends, warm
+        # cache, coalescing, batched cold misses) owns its grammar too.
+        from repro.service.cli import serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner",
         description="Regenerate one table/figure of the ISDC paper, "

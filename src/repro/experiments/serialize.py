@@ -5,7 +5,7 @@ can be archived, diffed and consumed by the benchmark suite (``--json PATH``
 on :mod:`repro.experiments.runner`).  The payload envelope is::
 
     {
-      "schema": 7,
+      "schema": 8,
       "experiment": "<name>",
       "store_key": "<hex>",  # content key of (experiment, data), see repro.store
       "quick": bool,
@@ -41,7 +41,11 @@ files cross-reference; 7 added pipelined-loop (initiation-interval)
 scheduling: the ``dse`` payload grows the ``min-ii`` mode (per-design
 ``min_ii`` and per-probe ``ii`` fields), and design axes accept
 ``loop:`` generated-loop specs and textual-IR ``.ir`` file paths
-alongside Table-I rows and ``gen:`` specs.
+alongside Table-I rows and ``gen:`` specs; 8 added the ``service``
+payload (the scheduling-service benchmark of :mod:`repro.service.bench`:
+throughput, p50/p95 latency, warm hit / coalesce rates and the
+warm-vs-cold speedup -- all wall-clock-derived by nature, gated
+direction-aware by ``runner report diff``).
 """
 
 from __future__ import annotations
@@ -57,7 +61,7 @@ from repro.experiments.fig8 import AigCorrelationResult
 from repro.experiments.table1 import TableOneResult
 from repro.store import payload_key
 
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 
 
 def _table1_payload(result: TableOneResult) -> dict[str, Any]:
@@ -122,9 +126,18 @@ def _dse_payload(result: Any) -> dict[str, Any]:
     return result.to_payload()
 
 
+def _service_payload(result: Any) -> dict[str, Any]:
+    # A repro.service.bench.ServiceBenchResult serialises itself.  Unlike
+    # the other experiments this payload is *measurement*, not schedule
+    # quality: every figure is wall-clock-derived, and report diff gates
+    # it with thresholds rather than byte equality.
+    return result.to_payload()
+
+
 _PAYLOAD_BUILDERS = {
     "campaign": _campaign_payload,
     "dse": _dse_payload,
+    "service": _service_payload,
     "report": _report_payload,
     "table1": _table1_payload,
     "fig1": _profile_payload,
@@ -142,7 +155,7 @@ def experiment_payload(name: str, result: Any, quick: bool = False,
 
     Args:
         name: experiment name (``table1``, ``fig1``/``5``/``6``/``7``/``8``,
-            ``campaign``, ``report`` or ``dse``).
+            ``campaign``, ``report``, ``dse`` or ``service``).
         result: the raw object the experiment's ``run_*`` function returned.
         quick: whether reduced settings were used.
         jobs: worker processes the run was configured with.

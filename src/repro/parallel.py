@@ -90,6 +90,11 @@ class PersistentPool:
     The pool is created on first use and torn down via :meth:`close` (also
     invoked by ``with`` and on garbage collection).
 
+    Worker processes accumulate per-process state (the DSE worker caches,
+    the service :class:`~repro.dse.warm.ProblemCache`), which is exactly
+    why long-lived callers share one pool via :func:`shared_pool` instead
+    of respawning per batch.
+
     Args:
         jobs: maximum number of worker processes.
     """
@@ -98,15 +103,70 @@ class PersistentPool:
         self.jobs = max(1, int(jobs))
         self._executor: Executor | None = None
 
+    def executor(self) -> Executor:
+        """The live :class:`ProcessPoolExecutor`, created on first use.
+
+        Exposed for callers that need future-level control (the service
+        daemon's ``run_in_executor`` bridge); everyone else should prefer
+        :meth:`map` / :meth:`imap_unordered`.
+        """
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs,
+                                                 mp_context=pool_context())
+        return self._executor
+
     def map(self, function: Callable[[_T], _R], items: Sequence[_T]) -> list[_R]:
         """Apply ``function`` to every item, preserving item order."""
         workers = effective_jobs(self.jobs, len(items))
         if workers <= 1:
             return [function(item) for item in items]
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.jobs,
-                                                 mp_context=pool_context())
-        return list(self._executor.map(function, items))
+        return list(self.executor().map(function, items))
+
+    def imap_unordered(self, function: Callable[[_T], _R],
+                       items: Sequence[_T]) -> Iterator[tuple[int, _R]]:
+        """Yield ``(index, function(item))`` pairs as items finish.
+
+        The streaming counterpart of :meth:`map` (same contract as
+        :func:`parallel_imap_unordered`, but over this pool's persistent
+        workers): serial in item order when ``jobs <= 1`` or for a single
+        item, completion order otherwise.
+        """
+        workers = effective_jobs(self.jobs, len(items))
+        if workers <= 1:
+            for index, item in enumerate(items):
+                yield index, function(item)
+            return
+        executor = self.executor()
+        futures = {executor.submit(function, item): index
+                   for index, item in enumerate(items)}
+        for future in as_completed(futures):
+            yield futures[future], future.result()
+
+    def resize(self, jobs: int) -> None:
+        """Grow the pool to at least ``jobs`` workers.
+
+        A no-op when the pool is already wide enough; otherwise the old
+        executor (if any) is shut down and a wider one is created lazily
+        on next use.  Shrinking is never done -- idle workers are cheap
+        and per-worker caches are valuable.
+        """
+        jobs = max(1, int(jobs))
+        if jobs <= self.jobs:
+            return
+        self.close()
+        self.jobs = jobs
+
+    def recover(self) -> None:
+        """Replace a broken executor with a fresh one (crash recovery).
+
+        After a worker dies mid-task, :class:`ProcessPoolExecutor` marks
+        itself broken and fails every subsequent submission.  Dropping it
+        lets the next :meth:`executor` call fork a healthy pool; per-worker
+        caches are lost, which only costs warm-start state.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
 
     def close(self) -> None:
         """Shut the worker processes down (idempotent)."""
@@ -127,6 +187,38 @@ class PersistentPool:
             pass
 
 
+#: The process-wide pool behind :func:`shared_pool`.
+_SHARED_POOL: PersistentPool | None = None
+
+
+def shared_pool(jobs: int) -> PersistentPool:
+    """The process-wide persistent pool, grown to at least ``jobs`` workers.
+
+    Campaign shards, DSE probe batches and service cold-miss batches all
+    draw from this one pool, so worker processes (and their per-worker
+    warm-start caches) survive across call sites instead of being respawned
+    per batch.  The pool only ever grows; call :func:`close_shared_pool`
+    to tear it down (tests, daemon shutdown).
+
+    Callers must not :meth:`PersistentPool.close` the returned pool --
+    they do not own it.
+    """
+    global _SHARED_POOL
+    if _SHARED_POOL is None:
+        _SHARED_POOL = PersistentPool(jobs)
+    else:
+        _SHARED_POOL.resize(jobs)
+    return _SHARED_POOL
+
+
+def close_shared_pool() -> None:
+    """Shut down the process-wide pool (idempotent; it re-forks on next use)."""
+    global _SHARED_POOL
+    if _SHARED_POOL is not None:
+        _SHARED_POOL.close()
+        _SHARED_POOL = None
+
+
 def split_round_robin(items: Sequence[_T], chunks: int) -> list[list[_T]]:
     """Deal ``items`` into ``chunks`` round-robin lists (some may be empty)."""
     dealt: list[list[_T]] = [[] for _ in range(max(1, chunks))]
@@ -135,5 +227,6 @@ def split_round_robin(items: Sequence[_T], chunks: int) -> list[list[_T]]:
     return dealt
 
 
-__all__ = ["PersistentPool", "effective_jobs", "parallel_imap_unordered",
-           "parallel_map", "pool_context", "split_round_robin"]
+__all__ = ["PersistentPool", "close_shared_pool", "effective_jobs",
+           "parallel_imap_unordered", "parallel_map", "pool_context",
+           "shared_pool", "split_round_robin"]

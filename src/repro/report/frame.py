@@ -85,8 +85,13 @@ METRICS: dict[str, MetricSpec] = {
     "min_clock_ps": MetricSpec(False, "minimum feasible clock period found by the DSE search"),
     "min_ii": MetricSpec(False, "minimum feasible initiation interval found by the DSE min-ii search"),
     "dse_probes": MetricSpec(False, "clock-period probes the DSE search evaluated"),
-    "warm_hit_rate": MetricSpec(True, "fraction of DSE probes served warm (memo or patched re-solve)"),
+    "warm_hit_rate": MetricSpec(True, "fraction of probes/requests served warm (DSE memo or patched re-solve; service cache hits)"),
     "lp_rebuilds": MetricSpec(False, "DSE probes that needed a full LP rebuild"),
+    "requests_per_s": MetricSpec(True, "sustained scheduling-service throughput (service bench)"),
+    "p50_latency_s": MetricSpec(False, "median per-request service latency (service bench)"),
+    "p95_latency_s": MetricSpec(False, "95th-percentile per-request service latency (service bench)"),
+    "coalesce_rate": MetricSpec(True, "fraction of requests coalesced into an in-flight duplicate (service bench)"),
+    "warm_speedup": MetricSpec(True, "mean cold latency over mean warm latency (service bench)"),
 }
 
 
@@ -329,6 +334,34 @@ def _dse_rows(source: str, envelope: dict) -> list[ReportRow]:
     return rows
 
 
+def _service_rows(source: str, envelope: dict) -> list[ReportRow]:
+    """One row per service benchmark run (schema >= 8 ``service`` payloads).
+
+    All metrics are wall-clock-derived measurements; ``report diff``
+    gates them with thresholds, direction-aware (throughput and hit
+    rates up, latencies down).
+    """
+    data = envelope.get("data", {})
+    workload = data.get("workload", {})
+    metrics: dict = {}
+    for key in ("requests_per_s", "p50_latency_s", "p95_latency_s",
+                "warm_hit_rate", "coalesce_rate", "warm_speedup"):
+        if data.get(key) is not None:
+            metrics[key] = float(data[key])
+    if data.get("elapsed_s") is not None:
+        metrics["runtime_s"] = float(data["elapsed_s"])
+    # Synthesised join key: stable across runs of the same workload shape,
+    # so `report diff BENCH_service.json fresh.json` joins on it.
+    job_id = _digest({"experiment": "service",
+                      "workload": workload.get("name"),
+                      "submitted": workload.get("submitted"),
+                      "dup": workload.get("dup"),
+                      "hot_fraction": workload.get("hot_fraction")})
+    return [ReportRow(job_id=job_id, source=source,
+                      axes={"design": f"service:{workload.get('name', '?')}"},
+                      metrics=metrics)]
+
+
 def _campaign_payload_rows(source: str, envelope: dict) -> list[ReportRow]:
     return [
         _campaign_row(source=source, job_id=job.get("job_id", ""),
@@ -350,19 +383,23 @@ def _payload_envelope_rows(label: str, envelope: dict,
         return _table1_rows(label, envelope)
     if experiment == "dse":
         return _dse_rows(label, envelope)
+    if experiment == "service":
+        return _service_rows(label, envelope)
     raise ValueError(
         f"cannot build report rows from the {experiment!r} payload in "
-        f"{origin}; supported experiments: campaign, dse, table1")
+        f"{origin}; supported experiments: campaign, dse, service, table1")
 
 
 def load_experiment_payload(path: str | Path,
                             source: str | None = None) -> ReportFrame:
-    """Load a runner ``--json`` payload (envelope schemas 1-6) into a frame.
+    """Load a runner ``--json`` payload (envelope schemas 1-8) into a frame.
 
     Supported experiments: ``campaign`` (one row per job, axes from each
     job's config), ``table1`` (one row per benchmark, SDC columns as the
-    ``*_initial`` metrics) and ``dse`` (one row per searched design with
-    the ``min_clock_ps`` / warm-start metrics).  The figure payloads carry
+    ``*_initial`` metrics), ``dse`` (one row per searched design with
+    the ``min_clock_ps`` / warm-start metrics) and ``service`` (one row
+    per benchmark run with throughput/latency/hit-rate metrics).  The
+    figure payloads carry
     curves rather than per-run records and are rejected with a clear
     error.
 

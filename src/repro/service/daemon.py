@@ -1,0 +1,420 @@
+"""The scheduling-service daemon core: cache, coalescing, batching.
+
+:class:`SchedulingService` is front-end-agnostic: front ends feed decoded
+JSON request objects to :meth:`SchedulingService.handle` and get response
+dicts back.  A compute request flows through three layers::
+
+    handle() -> warm cache hit?  ------------------> respond "warm"
+             -> identical request in flight?  -----> await it, "coalesced"
+             -> bounded queue (backpressure)  -----> batcher
+    batcher  -> adaptive batch window -> worker pool -> resolve futures,
+                cache + persist results
+
+The warm cache is a plain dict keyed by content-addressed request keys
+(:meth:`~repro.service.protocol.ServiceRequest.key`), preloaded from the
+artifact store's ``service-result`` records at startup and appended to as
+cold results land -- so a restarted daemon is warm from its first
+request.  Coalescing shares one :class:`asyncio.Future` per in-flight
+key; any number of concurrent duplicates cost exactly one computation.
+
+Cold misses drain through the process-wide persistent worker pool
+(:func:`repro.parallel.shared_pool`).  The batcher pulls whatever is
+immediately queued, then -- only under dense traffic -- holds the batch
+open for the configured window so one pool dispatch carries many
+requests; each batch runs as its own task, so batches overlap instead of
+serialising.  A worker crash fails only its batch (typed
+``worker-crash`` errors) and replaces the pool; the daemon keeps serving.
+
+Deadlines wrap the caller's wait, not the computation:
+``asyncio.wait_for(asyncio.shield(future), ...)`` -- a timed-out client
+gets a typed ``deadline`` error while the solve continues and still
+populates the cache for the next asker.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass, field
+
+from repro.parallel import PersistentPool, shared_pool
+from repro.service import protocol
+from repro.service.protocol import (ServiceRequest, error_response, normalize,
+                                    ok_response, parse_request,
+                                    service_result_record, work_item)
+from repro.service.worker import evaluate_request
+from repro.store import ArtifactStore
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one :class:`SchedulingService`.
+
+    Attributes:
+        jobs: worker processes of the cold-miss pool.
+        batch_window_ms: how long the batcher may hold a batch open to
+            collect more requests (applied only under dense traffic --
+            see :meth:`SchedulingService._adaptive_window_s`).
+        max_batch: requests per pool dispatch, at most.
+        queue_limit: bounded-queue depth; further cold misses are
+            rejected with a typed ``overloaded`` error (backpressure).
+        deadline_s: default per-request deadline (``<= 0`` disables).
+        latency_weight: LP tie-breaking weight filled into every request.
+        resolution_ps: default min-clock convergence threshold.
+        speculate: default min-clock batch width (fixed width keeps
+            results independent of ``jobs``).
+        max_probes: default min-clock probe budget.
+        store_path: artifact store persisting ``service-result`` records
+            (warm restarts); in-memory only when ``None``.
+        allow_crash_probes: honour the crash-injection design
+            (:data:`~repro.service.protocol.CRASH_DESIGN`); tests only.
+    """
+
+    jobs: int = 2
+    batch_window_ms: float = 5.0
+    max_batch: int = 16
+    queue_limit: int = 128
+    deadline_s: float = 300.0
+    latency_weight: float = 1e-3
+    resolution_ps: float = 25.0
+    speculate: int = 4
+    max_probes: int = 96
+    store_path: str | None = None
+    allow_crash_probes: bool = False
+
+
+@dataclass
+class ServiceStats:
+    """Counters the daemon maintains (all monotonic within one run)."""
+
+    requests: int = 0
+    bad_requests: int = 0
+    warm_hits: int = 0
+    coalesced: int = 0
+    cold_submitted: int = 0
+    cold_done: int = 0
+    cold_errors: int = 0
+    rejected: int = 0
+    deadline_misses: int = 0
+    worker_crashes: int = 0
+    internal_errors: int = 0
+    store_errors: int = 0
+    client_disconnects: int = 0
+    preloaded: int = 0
+    batches: int = 0
+    batch_items: int = 0
+    max_batch: int = 0
+    windowed_batches: int = 0
+
+    def snapshot(self) -> dict:
+        """Plain-dict view (the ``stats`` request's result payload)."""
+        payload = {name: getattr(self, name) for name in self.__dataclass_fields__}
+        served = self.warm_hits + self.coalesced + self.cold_done
+        payload["warm_hit_rate"] = self.warm_hits / served if served else 0.0
+        payload["coalesce_rate"] = (self.coalesced / self.requests
+                                    if self.requests else 0.0)
+        payload["mean_batch"] = (self.batch_items / self.batches
+                                 if self.batches else 0.0)
+        return payload
+
+
+class _ServiceError:
+    """A typed failure resolved into a waiter future (never cached)."""
+
+    __slots__ = ("code", "message")
+
+    def __init__(self, code: str, message: str) -> None:
+        self.code = code
+        self.message = message
+
+
+@dataclass
+class _Pending:
+    """One cold miss travelling from the queue to the pool."""
+
+    key: str
+    request: ServiceRequest
+    future: asyncio.Future
+    work: dict = field(default_factory=dict)
+
+
+class SchedulingService:
+    """The daemon core (see the module docstring for the data flow)."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.stats = ServiceStats()
+        self._results: dict[str, dict] = {}
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._queue: asyncio.Queue[_Pending] | None = None
+        self._batcher: asyncio.Task | None = None
+        self._batch_tasks: set[asyncio.Task] = set()
+        self._closing: asyncio.Event | None = None
+        self._store: ArtifactStore | None = None
+        self._pool: PersistentPool | None = None
+        self._ema_interarrival_s: float | None = None
+        self._last_arrival: float | None = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> None:
+        """Open the store, preload the warm cache and start the batcher."""
+        if self._queue is not None:
+            raise RuntimeError("service already started")
+        self._queue = asyncio.Queue(maxsize=max(1, self.config.queue_limit))
+        self._closing = asyncio.Event()
+        self._pool = shared_pool(self.config.jobs)
+        if self.config.store_path is not None:
+            self._store = ArtifactStore(
+                self.config.store_path).open_for_append(tolerant=True)
+            for record in self._store.kind("service-result"):
+                result = record.body.get("result")
+                if isinstance(result, dict):
+                    self._results[record.key] = result
+            self.stats.preloaded = len(self._results)
+        self._batcher = asyncio.create_task(self._batch_loop(),
+                                            name="service-batcher")
+
+    @property
+    def closing(self) -> bool:
+        """Whether a shutdown has been requested."""
+        return self._closing is not None and self._closing.is_set()
+
+    def request_shutdown(self) -> None:
+        """Flag the daemon as draining (front ends watch this event)."""
+        if self._closing is not None:
+            self._closing.set()
+
+    async def wait_closing(self) -> None:
+        """Block until a shutdown is requested."""
+        if self._closing is None:
+            raise RuntimeError("service not started")
+        await self._closing.wait()
+
+    async def stop(self) -> None:
+        """Drain and stop: fail queued requests, finish running batches.
+
+        The shared worker pool is *not* closed -- the service does not
+        own it (:func:`repro.parallel.close_shared_pool` is the owner's
+        call, made by the CLI on process exit).
+        """
+        if self._queue is None:
+            return
+        self.request_shutdown()
+        if self._batcher is not None:
+            self._batcher.cancel()
+            await asyncio.gather(self._batcher, return_exceptions=True)
+            self._batcher = None
+        while not self._queue.empty():
+            item = self._queue.get_nowait()
+            self._fail(item, _ServiceError(protocol.ERROR_SHUTDOWN,
+                                           "daemon is shutting down"))
+        if self._batch_tasks:
+            await asyncio.gather(*self._batch_tasks, return_exceptions=True)
+        self._queue = None
+
+    # ------------------------------------------------------------- serving
+
+    async def handle(self, raw: object) -> dict:
+        """Serve one decoded request object; always returns a response."""
+        if self._queue is None or self._closing is None:
+            raise RuntimeError("service not started")
+        self.stats.requests += 1
+        started = time.perf_counter()
+        try:
+            request = normalize(parse_request(raw),
+                                resolution_ps=self.config.resolution_ps,
+                                speculate=self.config.speculate,
+                                max_probes=self.config.max_probes,
+                                latency_weight=self.config.latency_weight,
+                                allow_crash=self.config.allow_crash_probes)
+        except protocol.ProtocolError as error:
+            self.stats.bad_requests += 1
+            client_id = None
+            if isinstance(raw, dict) and isinstance(raw.get("id"), (str, int)):
+                client_id = str(raw["id"])
+            return error_response(protocol.ERROR_BAD_REQUEST, str(error),
+                                  client_id=client_id)
+
+        if request.kind == "ping":
+            return ok_response(request, {"pong": True}, served="inline")
+        if request.kind == "stats":
+            return ok_response(request, self.stats.snapshot(), served="inline")
+        if request.kind == "shutdown":
+            self.request_shutdown()
+            return ok_response(request, {"closing": True}, served="inline")
+        if self.closing:
+            return error_response(protocol.ERROR_SHUTDOWN,
+                                  "daemon is shutting down", request=request)
+
+        key = request.key()
+        cached = self._results.get(key)
+        if cached is not None:
+            self.stats.warm_hits += 1
+            return ok_response(request, cached, served="warm",
+                               latency_s=time.perf_counter() - started)
+
+        future = self._inflight.get(key)
+        if future is not None:
+            self.stats.coalesced += 1
+            served = "coalesced"
+        else:
+            self._note_arrival()
+            loop = asyncio.get_running_loop()
+            future = loop.create_future()
+            item = _Pending(key=key, request=request, future=future,
+                            work=work_item(request))
+            self._inflight[key] = future
+            try:
+                self._queue.put_nowait(item)
+            except asyncio.QueueFull:
+                self._inflight.pop(key, None)
+                self.stats.rejected += 1
+                return error_response(
+                    protocol.ERROR_OVERLOADED,
+                    f"cold-miss queue is full ({self.config.queue_limit} "
+                    "pending); retry later", request=request)
+            self.stats.cold_submitted += 1
+            served = "cold"
+
+        deadline = (request.deadline_s if request.deadline_s is not None
+                    else self.config.deadline_s)
+        try:
+            if deadline and deadline > 0:
+                outcome = await asyncio.wait_for(asyncio.shield(future),
+                                                 timeout=deadline)
+            else:
+                outcome = await asyncio.shield(future)
+        except asyncio.TimeoutError:
+            self.stats.deadline_misses += 1
+            return error_response(
+                protocol.ERROR_DEADLINE,
+                f"no result within {deadline:.3f}s (the computation "
+                "continues and its result will be cached)", request=request)
+
+        if isinstance(outcome, _ServiceError):
+            return error_response(outcome.code, outcome.message,
+                                  request=request)
+        return ok_response(request, outcome, served=served,
+                           latency_s=time.perf_counter() - started)
+
+    # ------------------------------------------------------------- batching
+
+    def _note_arrival(self) -> None:
+        """Update the cold-miss inter-arrival EMA (adaptive window input)."""
+        now = time.perf_counter()
+        if self._last_arrival is not None:
+            gap = now - self._last_arrival
+            if self._ema_interarrival_s is None:
+                self._ema_interarrival_s = gap
+            else:
+                self._ema_interarrival_s = (0.75 * self._ema_interarrival_s
+                                            + 0.25 * gap)
+        self._last_arrival = now
+
+    def _adaptive_window_s(self) -> float:
+        """How long the batcher may hold the current batch open.
+
+        Zero under sparse traffic (waiting would only add latency and
+        collect nothing); the configured window when cold misses arrive
+        faster than one window apart, so one pool dispatch carries many.
+        """
+        base = self.config.batch_window_ms / 1000.0
+        if base <= 0 or self._ema_interarrival_s is None:
+            return 0.0
+        return base if self._ema_interarrival_s < base else 0.0
+
+    async def _batch_loop(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = [await self._queue.get()]
+            while len(batch) < self.config.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            window = self._adaptive_window_s()
+            if window > 0 and len(batch) < self.config.max_batch:
+                self.stats.windowed_batches += 1
+                deadline = loop.time() + window
+                while len(batch) < self.config.max_batch:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        batch.append(await asyncio.wait_for(
+                            self._queue.get(), timeout=remaining))
+                    except asyncio.TimeoutError:
+                        break
+            self.stats.batches += 1
+            self.stats.batch_items += len(batch)
+            self.stats.max_batch = max(self.stats.max_batch, len(batch))
+            task = asyncio.create_task(self._run_batch(batch),
+                                       name="service-batch")
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._batch_tasks.discard)
+
+    async def _run_batch(self, batch: list[_Pending]) -> None:
+        assert self._pool is not None
+        loop = asyncio.get_running_loop()
+
+        async def evaluate(work: dict) -> dict:
+            # executor() inside the coroutine: a synchronous submit-time
+            # BrokenExecutor is then captured by gather like any other.
+            return await loop.run_in_executor(self._pool.executor(),
+                                              evaluate_request, work)
+
+        outcomes = await asyncio.gather(
+            *(evaluate(item.work) for item in batch), return_exceptions=True)
+        crashed = False
+        for item, outcome in zip(batch, outcomes):
+            if isinstance(outcome, BrokenExecutor):
+                crashed = True
+                self._fail(item, _ServiceError(
+                    protocol.ERROR_WORKER_CRASH,
+                    "a worker process died mid-batch; the pool was "
+                    "replaced, retry the request"))
+            elif isinstance(outcome, BaseException):
+                self.stats.internal_errors += 1
+                self._fail(item, _ServiceError(
+                    protocol.ERROR_INTERNAL,
+                    f"{type(outcome).__name__}: {outcome}"))
+            elif "error" in outcome:
+                self._fail(item, _ServiceError(outcome["error"],
+                                               outcome.get("message", "")))
+            else:
+                self._finish(item, outcome["result"])
+        if crashed:
+            self.stats.worker_crashes += 1
+            self._pool.recover()
+
+    def _finish(self, item: _Pending, result: dict) -> None:
+        """Cache, persist and deliver one cold result (success path).
+
+        Results are deterministic, so even infeasible answers are cached;
+        only *errors* (crashes, unresolvable designs) are never cached.
+        """
+        self._results[item.key] = result
+        self.stats.cold_done += 1
+        if self._store is not None:
+            try:
+                self._store.put(service_result_record(item.request, result))
+            except OSError:
+                self.stats.store_errors += 1  # keep serving from memory
+        self._inflight.pop(item.key, None)
+        if not item.future.done():
+            item.future.set_result(result)
+
+    def _fail(self, item: _Pending, error: _ServiceError) -> None:
+        """Deliver a typed error to the waiters (nothing is cached)."""
+        self.stats.cold_errors += 1
+        self._inflight.pop(item.key, None)
+        if not item.future.done():
+            # set_result (not set_exception): abandoned futures must not
+            # log "exception was never retrieved" after a deadline miss.
+            item.future.set_result(error)
+
+
+__all__ = ["SchedulingService", "ServiceConfig", "ServiceStats"]

@@ -24,6 +24,7 @@ table.
 
 from repro.store.jsonl import (append_line, append_lines, parse_jsonl_tail,
                                truncate_torn_tail)
+from repro.store.lock import FileLock, LockTimeoutError
 from repro.store.migrate import (CAMPAIGN_BODY_SCHEMA, SYNTH_EVAL_BODY_SCHEMA,
                                  campaign_header_record, campaign_job_record,
                                  migrate_file, migrate_records, payload_key,
@@ -35,7 +36,9 @@ from repro.store.store import ArtifactStore, GcPolicy, StoreReport
 __all__ = [
     "ArtifactStore",
     "CAMPAIGN_BODY_SCHEMA",
+    "FileLock",
     "GcPolicy",
+    "LockTimeoutError",
     "KEY_BYTES",
     "STORE_KINDS",
     "SYNTH_EVAL_BODY_SCHEMA",

@@ -1,0 +1,130 @@
+"""Advisory file locking for multi-writer artifact stores.
+
+Several processes may share one :class:`~repro.store.store.ArtifactStore`
+file -- service daemon workers appending results, a campaign appending
+checkpoints, an operator running ``runner store compact`` on the side.
+Individual O_APPEND appends are a single ``os.write`` and never interleave
+bytes mid-record, but two windows are *not* append-only and would corrupt
+a shared file without coordination:
+
+* :meth:`~repro.store.store.ArtifactStore.open_for_append` truncating a
+  torn tail (a whole-file rewrite) while another process appends;
+* :meth:`~repro.store.store.ArtifactStore.compact` / ``gc`` replacing the
+  file while another process holds an O_APPEND descriptor (its appends
+  would land in the unlinked inode and vanish).
+
+:class:`FileLock` is a classic advisory ``flock`` on a ``<store>.lock``
+sidecar: cheap, crash-safe (the OS releases it when the holder dies, so a
+killed daemon never wedges the store) and reentrant within a process
+object.  On platforms without :mod:`fcntl` it degrades to a no-op, which
+matches the pre-lock behaviour.
+
+    >>> import tempfile, pathlib
+    >>> path = pathlib.Path(tempfile.mkdtemp()) / "store.jsonl"
+    >>> with FileLock(path) as lock:
+    ...     pass  # exclusive across processes while held
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+try:  # pragma: no cover - platform probe
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+#: Suffix of the sidecar lock file (the store file itself is never locked,
+#: so lock acquisition cannot race the atomic-rename of a compaction).
+LOCK_SUFFIX = ".lock"
+
+
+class LockTimeoutError(TimeoutError):
+    """The lock could not be acquired within the timeout."""
+
+
+class FileLock:
+    """An advisory, reentrant, inter-process lock on a sidecar file.
+
+    Args:
+        path: the file being protected; the lock itself lives at
+            ``<path>.lock``.
+        timeout_s: how long :meth:`acquire` waits before raising
+            :class:`LockTimeoutError`.
+        poll_s: sleep between non-blocking acquisition attempts.
+    """
+
+    def __init__(self, path: str | Path, timeout_s: float = 30.0,
+                 poll_s: float = 0.01) -> None:
+        self.path = Path(str(path) + LOCK_SUFFIX)
+        self.timeout_s = float(timeout_s)
+        self.poll_s = float(poll_s)
+        self._fd: int | None = None
+        self._depth = 0
+
+    @property
+    def held(self) -> bool:
+        """Whether this object currently holds the lock."""
+        return self._depth > 0
+
+    def acquire(self) -> None:
+        """Take the exclusive lock, waiting up to ``timeout_s``.
+
+        Reentrant: a holder re-acquiring only bumps a depth counter.
+
+        Raises:
+            LockTimeoutError: another process held the lock past the
+                timeout.
+        """
+        if self._depth > 0:
+            self._depth += 1
+            return
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            self._depth = 1
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT, 0o644)
+        deadline = time.monotonic() + self.timeout_s
+        try:
+            while True:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    break
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        raise LockTimeoutError(
+                            f"could not lock {self.path} within "
+                            f"{self.timeout_s:.1f}s; is another writer "
+                            "stuck?") from None
+                    time.sleep(self.poll_s)
+        except BaseException:
+            os.close(fd)
+            raise
+        self._fd = fd
+        self._depth = 1
+
+    def release(self) -> None:
+        """Drop one level of the lock (released for real at depth zero)."""
+        if self._depth == 0:
+            raise RuntimeError(f"release of unheld lock {self.path}")
+        self._depth -= 1
+        if self._depth > 0:
+            return
+        if self._fd is not None:
+            # Closing the descriptor releases the flock atomically; the
+            # sidecar file is deliberately left behind (unlinking it would
+            # race a concurrent acquirer that already opened it).
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+__all__ = ["FileLock", "LOCK_SUFFIX", "LockTimeoutError"]

@@ -45,6 +45,7 @@ STORE_KINDS = (
     "synth-eval",       # one per synthesised subgraph (key = fingerprint x backend)
     "payload",          # one per runner --json payload (key = payload digest)
     "dse-probe",        # one per DSE probe outcome (key = probe key)
+    "service-result",   # one per served scheduling request (key = request key)
 )
 
 #: Bytes of SHA-256 kept in a content key (hex length is twice this).

@@ -39,6 +39,7 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.store.jsonl import (append_line, parse_jsonl_tail,
                                truncate_torn_tail)
+from repro.store.lock import FileLock
 from repro.store.record import StoreRecord, is_store_record
 
 
@@ -78,6 +79,22 @@ class StoreReport:
     kinds: dict = field(default_factory=dict)
 
 
+class _NullLock:
+    """Context-manager stand-in when locking is disabled (in-memory stores)."""
+
+    def __enter__(self) -> "_NullLock":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def acquire(self) -> None:
+        return None
+
+    def release(self) -> None:
+        return None
+
+
 class ArtifactStore:
     """Append-only content-addressed record store over one JSONL file.
 
@@ -86,6 +103,13 @@ class ArtifactStore:
             durability -- the same protocol, useful for API runs and
             tests).
         fsync: fsync every append (durability past the OS cache).
+        locking: coordinate with other writer processes through an
+            advisory ``<path>.lock`` sidecar (:mod:`repro.store.lock`).
+            Appends, torn-tail truncation and compaction rewrites take
+            the lock, so several service workers or daemons can share one
+            store file without interleaving torn records.  Disable only
+            for provably single-writer files (saves two syscalls per
+            append).
 
     Attributes:
         path: the backing file (or ``None``).
@@ -95,12 +119,24 @@ class ArtifactStore:
     """
 
     def __init__(self, path: str | Path | None = None,
-                 fsync: bool = False) -> None:
+                 fsync: bool = False, locking: bool = True) -> None:
         self.path = Path(path) if path is not None else None
         self.fsync = fsync
+        self.locking = locking and self.path is not None
+        self._lock = FileLock(self.path) if self.locking else None
         self.records: dict[tuple[str, str], StoreRecord] = {}
         self.skipped_lines = 0
         self._duplicates = 0
+
+    def lock(self) -> FileLock | _NullLock:
+        """The store's advisory inter-process lock (no-op when disabled).
+
+        Exposed so multi-step read-modify-write sequences (a service
+        daemon folding shards, an operator script) can hold the lock
+        across several store calls; the lock is reentrant, so the calls'
+        own acquisitions nest for free.
+        """
+        return self._lock if self._lock is not None else _NullLock()
 
     # -------------------------------------------------------------- loading
 
@@ -130,13 +166,19 @@ class ArtifactStore:
 
         Unlike :meth:`load` this prepares the file for appends: a torn
         trailing line is truncated away so future appends start on a
-        clean boundary.  Missing files are simply empty stores.  Returns
-        ``self`` for chaining.
+        clean boundary.  Missing files are simply empty stores.  The
+        load-truncate window runs under the store's advisory file lock
+        (when ``locking`` is on), so a concurrent writer's fresh appends
+        can never be mistaken for a torn tail and rewritten away.
+        Returns ``self`` for chaining.
         """
-        if self.path is None or not self.path.exists():
+        if self.path is None:
             return self
-        _, complete, tail = self._read(tolerant=tolerant)
-        truncate_torn_tail(self.path, complete, tail)
+        with self.lock():
+            if not self.path.exists():
+                return self
+            _, complete, tail = self._read(tolerant=tolerant)
+            truncate_torn_tail(self.path, complete, tail)
         return self
 
     def _read(self, tolerant: bool) -> tuple[list[dict], list[bytes], bytes]:
@@ -169,7 +211,8 @@ class ArtifactStore:
             self._duplicates += 1
         self.records[record.identity] = record
         if self.path is not None:
-            append_line(self.path, record.to_line(), fsync=self.fsync)
+            with self.lock():
+                append_line(self.path, record.to_line(), fsync=self.fsync)
 
     def put_many(self, records: Iterable[StoreRecord]) -> int:
         """Add several records in one appending pass; returns the count."""
@@ -184,7 +227,8 @@ class ArtifactStore:
         if self.path is not None and lines:
             from repro.store.jsonl import append_lines
 
-            append_lines(self.path, lines, fsync=self.fsync)
+            with self.lock():
+                append_lines(self.path, lines, fsync=self.fsync)
         return added
 
     # -------------------------------------------------------------- reading
@@ -364,15 +408,21 @@ class ArtifactStore:
         return report
 
     def _rewrite(self, records: Iterable[StoreRecord]) -> None:
-        """Write ``records`` to a temp sibling and atomically replace."""
+        """Write ``records`` to a temp sibling and atomically replace.
+
+        Runs under the advisory lock: replacing the file while another
+        process appends through an O_APPEND descriptor would strand its
+        appends in the unlinked inode.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
         temporary = self.path.with_name(self.path.name + ".compact-tmp")
-        with temporary.open("w") as handle:
-            for record in records:
-                handle.write(record.to_line())
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temporary, self.path)
+        with self.lock():
+            with temporary.open("w") as handle:
+                for record in records:
+                    handle.write(record.to_line())
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temporary, self.path)
 
 
 __all__ = ["ArtifactStore", "GcPolicy", "StoreReport"]

@@ -1,0 +1,209 @@
+"""Daemon-core tests: cache layers, backpressure, fault injection.
+
+No pytest-asyncio in the container, so every test drives its own event
+loop with :func:`asyncio.run`.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.parallel import close_shared_pool
+from repro.service.daemon import SchedulingService, ServiceConfig
+from repro.service.protocol import CRASH_DESIGN
+from repro.store import ArtifactStore
+
+DESIGN = "rrot"
+CLOCK = 2000.0  # feasible for rrot (its min clock is ~1620 ps)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _shared_pool_cleanup():
+    yield
+    close_shared_pool()
+
+
+def _schedule(design=DESIGN, clock=CLOCK, **extra):
+    return {"kind": "schedule", "design": design,
+            "clock_period_ps": clock, **extra}
+
+
+async def _started(config):
+    service = SchedulingService(config)
+    await service.start()
+    return service
+
+
+async def _drained(service, *, timeout_s=60.0):
+    """Wait for every in-flight computation to land (or error)."""
+    deadline = asyncio.get_running_loop().time() + timeout_s
+    while service._inflight:
+        assert asyncio.get_running_loop().time() < deadline
+        await asyncio.sleep(0.01)
+
+
+def test_coalescing_then_warm():
+    async def scenario():
+        service = await _started(ServiceConfig(jobs=1, batch_window_ms=0.0))
+        try:
+            burst = await asyncio.gather(*(service.handle(_schedule(id=i))
+                                           for i in range(3)))
+            assert [r["ok"] for r in burst] == [True] * 3
+            assert sorted(r["served"] for r in burst) == [
+                "coalesced", "coalesced", "cold"]
+            # All three answers are the same object's payload.
+            assert burst[0]["result"] == burst[1]["result"] == burst[2]["result"]
+            assert {r["id"] for r in burst} == {"0", "1", "2"}
+
+            again = await service.handle(_schedule())
+            assert again["served"] == "warm"
+            assert again["result"] == burst[0]["result"]
+
+            stats = service.stats
+            assert (stats.cold_submitted, stats.coalesced,
+                    stats.warm_hits) == (1, 2, 1)
+        finally:
+            await service.stop()
+    asyncio.run(scenario())
+
+
+def test_queue_full_is_a_typed_rejection():
+    async def scenario():
+        service = await _started(ServiceConfig(jobs=1, queue_limit=1,
+                                               max_batch=1,
+                                               batch_window_ms=0.0))
+        try:
+            # Distinct clock periods -> distinct keys, no coalescing.  All
+            # three handle() calls enqueue synchronously before the
+            # batcher gets a turn, so only the first fits the queue.
+            results = await asyncio.gather(
+                *(service.handle(_schedule(clock=CLOCK + i, id=i))
+                  for i in range(3)))
+            by_id = {r["id"]: r for r in results}
+            assert by_id["0"]["ok"] is True
+            for i in ("1", "2"):
+                assert by_id[i]["ok"] is False
+                assert by_id[i]["error"] == "overloaded"
+            assert service.stats.rejected == 2
+            # A rejected request key holds no stale in-flight entry: the
+            # same question succeeds once there is room.
+            retry = await service.handle(_schedule(clock=CLOCK + 1))
+            assert retry["ok"] is True and retry["served"] == "cold"
+        finally:
+            await service.stop()
+    asyncio.run(scenario())
+
+
+def test_deadline_miss_still_caches_the_result():
+    async def scenario():
+        service = await _started(ServiceConfig(jobs=1, batch_window_ms=0.0))
+        try:
+            missed = await service.handle(_schedule(deadline_s=1e-4))
+            assert missed["ok"] is False
+            assert missed["error"] == "deadline"
+            assert service.stats.deadline_misses == 1
+
+            # The shielded computation kept running; once it lands the
+            # identical question is a warm hit.
+            await _drained(service)
+            assert service.stats.cold_done == 1
+            warm = await service.handle(_schedule())
+            assert warm["ok"] is True and warm["served"] == "warm"
+        finally:
+            await service.stop()
+    asyncio.run(scenario())
+
+
+def test_worker_crash_fails_the_batch_and_recovers():
+    async def scenario():
+        service = await _started(ServiceConfig(jobs=1, batch_window_ms=0.0,
+                                               allow_crash_probes=True))
+        try:
+            crash = {"kind": "schedule", "design": CRASH_DESIGN,
+                     "clock_period_ps": 1000, "id": "boom"}
+            # Both requests enqueue before the batcher runs, so they share
+            # the single-worker batch; the crash takes the bystander down
+            # with a typed error rather than a hang.
+            results = await asyncio.gather(service.handle(crash),
+                                           service.handle(_schedule(id="ok")))
+            for response in results:
+                assert response["ok"] is False
+                assert response["error"] == "worker-crash"
+            assert service.stats.worker_crashes == 1
+
+            # The pool was replaced: the same innocent request now works,
+            # cold (errors are never cached).
+            retry = await service.handle(_schedule())
+            assert retry["ok"] is True and retry["served"] == "cold"
+        finally:
+            await service.stop()
+    asyncio.run(scenario())
+
+
+def test_bad_design_is_a_typed_error_and_never_cached():
+    async def scenario():
+        service = await _started(ServiceConfig(jobs=1, batch_window_ms=0.0))
+        try:
+            first = await service.handle(_schedule(design="no-such-design"))
+            assert first["ok"] is False and first["error"] == "bad-design"
+            second = await service.handle(_schedule(design="no-such-design"))
+            assert second["ok"] is False and second["error"] == "bad-design"
+            assert service.stats.cold_errors == 2  # recomputed, not cached
+        finally:
+            await service.stop()
+    asyncio.run(scenario())
+
+
+def test_control_requests_and_shutdown():
+    async def scenario():
+        service = await _started(ServiceConfig(jobs=1))
+        try:
+            pong = await service.handle({"kind": "ping"})
+            assert pong["ok"] is True and pong["result"] == {"pong": True}
+            stats = await service.handle({"kind": "stats"})
+            assert stats["result"]["requests"] == 2
+
+            closing = await service.handle({"kind": "shutdown"})
+            assert closing["result"] == {"closing": True}
+            assert service.closing
+            refused = await service.handle(_schedule())
+            assert refused["ok"] is False
+            assert refused["error"] == "shutting-down"
+        finally:
+            await service.stop()
+    asyncio.run(scenario())
+
+
+def test_warm_restart_from_the_artifact_store(tmp_path):
+    store_path = str(tmp_path / "service.jsonl")
+
+    async def first_run():
+        service = await _started(ServiceConfig(jobs=1,
+                                               store_path=store_path))
+        try:
+            response = await service.handle(_schedule())
+            assert response["served"] == "cold"
+            return response
+        finally:
+            await service.stop()
+
+    async def second_run():
+        service = await _started(ServiceConfig(jobs=1,
+                                               store_path=store_path))
+        try:
+            assert service.stats.preloaded == 1
+            response = await service.handle(_schedule())
+            assert response["served"] == "warm"
+            return response
+        finally:
+            await service.stop()
+
+    cold = asyncio.run(first_run())
+    warm = asyncio.run(second_run())
+    assert warm["result"] == cold["result"]
+    assert warm["key"] == cold["key"]
+
+    records = list(ArtifactStore.load(store_path).kind("service-result"))
+    assert len(records) == 1
+    assert records[0].key == cold["key"]
+    assert records[0].body["result"] == cold["result"]
